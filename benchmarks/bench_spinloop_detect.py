@@ -1,0 +1,84 @@
+"""§4.3 (RQ3): precision of the implicit-synchronisation detector.
+
+Validates the detector on the CKit spinlocks (representative implicit
+primitives — must be flagged) and on Phoenix (pthreads-only — must come
+out clean apart from the two documented cases), then tabulates
+TP/TN/FP/FN exactly as the paper discusses:
+
+* no false positives (a flagged-clean binary with real spinloops would
+  be unsound);
+* histogram: one uncovered loop (the endianness swap) — resolved by
+  manual analysis;
+* pca: one false negative (needs happens-before reasoning) — fences
+  conservatively kept.
+"""
+
+import pytest
+
+from repro.core import Recompiler, SpinloopDetector, run_image
+from repro.workloads import CKIT_WORKLOADS, PHOENIX_WORKLOADS
+
+from common import once, write_result
+
+
+def _analyze(workload, size="small", seed=23, opt=0):
+    image = workload.compile(opt_level=opt)
+    instrumented = Recompiler(image, instrument_accesses=True).recompile()
+    run = run_image(instrumented.image, library=workload.library(size),
+                    seed=seed)
+    assert run.ok, (workload.name, run.fault)
+    detector = SpinloopDetector(instrumented.module, run.access_log)
+    return detector.analyze()
+
+
+def test_spinloop_detection_precision(benchmark):
+    def compute():
+        rows = []
+        summary = {"ckit_flagged": 0, "ckit_total": 0,
+                   "phoenix_clean": 0, "phoenix_uncovered": 0,
+                   "phoenix_spinning": 0}
+        # CKit: every lock implementation must be flagged (true
+        # negatives for fence removal).
+        for wl in CKIT_WORKLOADS:
+            report = _analyze(wl)
+            flagged = report.count("spinning") + report.count("uncovered")
+            summary["ckit_total"] += 1
+            summary["ckit_flagged"] += 1 if flagged else 0
+            rows.append([wl.name, "ckit", report.count("non-spinning"),
+                         report.count("spinning"),
+                         report.count("uncovered"),
+                         "fences kept" if not report.fences_removable
+                         else "REMOVED (unsound!)"])
+        # Phoenix: pthreads-only; clean except histogram (coverage) and
+        # pca (happens-before false negative).
+        for wl in PHOENIX_WORKLOADS:
+            report = _analyze(wl)
+            rows.append([wl.name, "phoenix",
+                         report.count("non-spinning"),
+                         report.count("spinning"),
+                         report.count("uncovered"),
+                         "removable" if report.fences_removable
+                         else "kept"])
+            if report.fences_removable:
+                summary["phoenix_clean"] += 1
+            if report.count("uncovered"):
+                summary["phoenix_uncovered"] += 1
+            if report.count("spinning"):
+                summary["phoenix_spinning"] += 1
+        return rows, summary
+
+    rows, summary = once(benchmark, compute)
+    write_result(
+        "spinloop_precision", "RQ3 — Spinloop detector precision",
+        ["binary", "suite", "non-spinning", "spinning", "uncovered",
+         "fence verdict"], rows,
+        notes="Paper §4.3: zero false positives; histogram has one "
+              "uncovered loop (manual override applies); pca has one "
+              "false negative (kept fences, correctness unaffected).")
+
+    # Zero false positives: every CKit lock is flagged.
+    assert summary["ckit_flagged"] == summary["ckit_total"]
+    # The two documented Phoenix cases show up; the rest are clean.
+    assert summary["phoenix_uncovered"] >= 1      # histogram
+    assert summary["phoenix_spinning"] >= 1       # pca
+    assert summary["phoenix_clean"] >= 5

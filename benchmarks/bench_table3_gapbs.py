@@ -1,0 +1,72 @@
+"""Table 3: gapbs normalised runtimes, 32-bit/64-bit x O0/O3.
+
+The paper's shape: unoptimised (O0) inputs recompile close to the
+original, optimised (O3) inputs carry a moderate slowdown, with the
+geometric means around 1.1-1.2x (O0) and 1.3-1.6x (O3).
+"""
+
+import pytest
+
+from repro.workloads import GAPBS_WORKLOADS, GAPBS_WORKLOADS_32
+
+from common import geomean, hybrid_recompile, normalized_runtime, once, \
+    write_result
+
+#: Paper numbers (Table 3): (32-bit O0, 32-bit O3, 64-bit O0, 64-bit O3).
+PAPER = {
+    "bc": (1.20, 2.48, 1.26, 1.17),
+    "bfs": (0.87, 1.02, 0.94, 1.01),
+    "cc": (0.93, 0.97, 0.88, 1.02),
+    "cc_sv": (0.92, 0.97, 0.88, 1.04),
+    "pr": (1.90, 2.94, 1.37, 1.81),
+    "pr_spmv": (2.03, 3.08, 1.45, 1.92),
+    "sssp": (0.85, 1.06, 0.89, 1.01),
+    "tc": (1.30, 1.42, 1.40, 1.41),
+}
+
+
+def test_table3_gapbs(benchmark):
+    pairs = {wl.name.replace("_32", ""): {} for wl in GAPBS_WORKLOADS}
+
+    def compute():
+        measured = {}
+        for wl in GAPBS_WORKLOADS_32 + GAPBS_WORKLOADS:
+            base = wl.name.replace("_32", "")
+            bits = 32 if wl.name.endswith("_32") else 64
+            for opt in (0, 3):
+                result, _ = hybrid_recompile(wl, opt)
+                ratio = normalized_runtime(wl, result, opt)
+                measured[(base, bits, opt)] = ratio
+        rows = []
+        for base in sorted(PAPER):
+            paper = PAPER[base]
+            rows.append([
+                base,
+                f"{measured[(base, 32, 0)]:.2f}",
+                f"{measured[(base, 32, 3)]:.2f}",
+                f"{measured[(base, 64, 0)]:.2f}",
+                f"{measured[(base, 64, 3)]:.2f}",
+                "/".join(f"{p:.2f}" for p in paper),
+            ])
+        means = []
+        for bits in (32, 64):
+            for opt in (0, 3):
+                means.append(geomean(
+                    [measured[(b, bits, opt)] for b in PAPER]))
+        rows.append(["Geomean"] + [f"{m:.2f}" for m in means]
+                    + ["1.18/1.55/1.12/1.32"])
+        return rows, measured
+
+    rows, measured = once(benchmark, compute)
+    write_result(
+        "table3_gapbs", "Table 3 — gapbs normalised runtime",
+        ["Benchmark", "32-bit O0", "32-bit O3", "64-bit O0", "64-bit O3",
+         "paper (same order)"], rows)
+
+    # Shape: O3 recompilation costs at least as much as O0 on average.
+    o0_mean = geomean([measured[(b, 64, 0)] for b in PAPER])
+    o3_mean = geomean([measured[(b, 64, 3)] for b in PAPER])
+    assert o3_mean >= o0_mean * 0.85
+    # Everything within a sane band.
+    for key, value in measured.items():
+        assert 0.3 < value < 8.0, (key, value)

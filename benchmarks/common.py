@@ -1,0 +1,102 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures: it computes
+the same rows/series, prints them, and appends a record to
+``benchmarks/results/`` so EXPERIMENTS.md can cite concrete numbers.
+
+"Performance" is simulated wall cycles (see DESIGN.md): normalised
+runtime = recompiled wall cycles / original wall cycles, the analogue
+of the paper's normalised runtimes.  Lifting times are real seconds of
+this reproduction's pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core import (ICFTTracer, Recompiler, discover_callbacks,
+                        optimize_fences, run_image)
+from repro.workloads import Workload
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_result(name: str, title: str, header: Sequence[str],
+                 rows: Iterable[Sequence], notes: str = "") -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    lines = [f"# {title}", ""]
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "---|" * len(header))
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    if notes:
+        lines += ["", notes]
+    text = "\n".join(lines) + "\n"
+    path = os.path.join(RESULTS_DIR, f"{name}.md")
+    with open(path, "w") as handle:
+        handle.write(text)
+    print()
+    print(text)
+    return path
+
+
+def geomean(values: Sequence[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def hybrid_recompile(workload: Workload, opt_level: int,
+                     size: Optional[str] = None, seed: int = 21,
+                     fence_opt: bool = False,
+                     manual_overrides: Optional[set] = None,
+                     with_callbacks: bool = True):
+    """The paper's full Polynima configuration: static CFG + ICFT trace
+    + callback analysis (+ optional fence optimisation).  Returns the
+    final RecompileResult."""
+    image = workload.compile(opt_level=opt_level)
+    trace = ICFTTracer(image).trace(
+        lambda _x: workload.library(size), inputs=[None], seed=seed)
+    recompiler = Recompiler(image)
+    cfg = recompiler.recover_cfg(trace=trace)
+    observed = None
+    if with_callbacks:
+        observed = discover_callbacks(
+            image, workload.library_factory(size), seed=seed,
+            cfg=cfg).observed
+    if fence_opt:
+        report = optimize_fences(
+            image, workload.library_factory(size), seed=seed, cfg=cfg,
+            observed_callbacks=observed,
+            manual_overrides=manual_overrides)
+        return report.result, report
+    result = Recompiler(image, observed_callbacks=observed) \
+        .recompile(cfg=cfg)
+    return result, None
+
+
+def normalized_runtime(workload: Workload, result, opt_level: int,
+                       size: Optional[str] = None, seed: int = 21) -> float:
+    """recompiled wall cycles / original wall cycles; asserts output
+    equivalence first (the paper validates before timing)."""
+    image = workload.compile(opt_level=opt_level)
+    original = run_image(image, library=workload.library(size), seed=seed)
+    recompiled = run_image(result.image, library=workload.library(size),
+                           seed=seed)
+    assert original.ok, f"{workload.name}: original faulted {original.fault}"
+    assert recompiled.matches(original), \
+        (f"{workload.name} O{opt_level}: output mismatch "
+         f"({recompiled.fault} {recompiled.stdout[:40]!r})")
+    return recompiled.wall_cycles / original.wall_cycles
+
+
+def once(benchmark, fn):
+    """Run a whole-table computation exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

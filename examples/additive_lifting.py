@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""§3.2 scenario: on-device additive lifting.
+
+The gcc-like binary dispatches operator handlers through a function-
+pointer table — exactly the indirect calls static disassembly cannot
+resolve.  Additive lifting closes the gap without any tracing
+infrastructure:
+
+1. recompile with the statically known CFG;
+2. run the recompiled output natively; an unknown transfer reports a
+   control-flow miss (site, target) through the runtime;
+3. record the pair in the on-disk CFG, statically explore from the new
+   target, recompile, and retry — a recompilation *loop*.
+
+Run:  python examples/additive_lifting.py
+"""
+
+from repro.core import AdditiveLifting, Recompiler, run_image
+from repro.workloads import get
+
+
+def main() -> None:
+    wl = get("gcc")
+    image = wl.compile(opt_level=0)
+    original = run_image(image, library=wl.library(), seed=3)
+    print("== input: expression-compiler binary with a function-pointer "
+          "operator table ==")
+    print(f"   expected output: {original.stdout.decode().strip()}")
+
+    print("\n== static recovery alone ==")
+    recompiler = Recompiler(image)
+    static = recompiler.recompile()
+    bad = run_image(static.image, library=wl.library(), seed=3)
+    status = "OK" if bad.ok else f"control-flow miss -> {bad.fault}"
+    print(f"   recompiled output ran: {status}")
+
+    print("\n== additive lifting loop ==")
+    lifting = AdditiveLifting(Recompiler(image))
+    report = lifting.run(wl.library_factory(), seed=3)
+    for index, iteration in enumerate(report.iterations):
+        if iteration.miss is None:
+            print(f"   build {index}: initial recompilation "
+                  f"({iteration.recompile_seconds:.2f}s)")
+        else:
+            site, target = iteration.miss
+            print(f"   build {index}: miss at site {site:#x} -> "
+                  f"{target:#x}; CFG updated, recompiled "
+                  f"({iteration.recompile_seconds:.2f}s)")
+    final = report.iterations[-1].run_result
+    print(f"\n   converged after {report.recompile_loops} recompilation "
+          f"loops, {report.total_seconds:.2f}s total")
+    print(f"   final output: {final.stdout.decode().strip()}")
+    assert final.stdout == original.stdout
+    print("   matches the original — all paths recovered, no emulator "
+          "or tracer involved.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""§3.4 scenario: Polynima as a post-release optimizer.
+
+Takes an unoptimized (O0) Phoenix kernel, recompiles it with the full
+pipeline, and shows how the fence-removal optimization — gated on the
+implicit-synchronization (spinloop) detector — unlocks further
+compiler optimizations:
+
+* with fences: every original shared access pins the memory state;
+* without fences (after the detector proves the binary spinloop-free):
+  redundant-load elimination, dead-store elimination and LICM can fire,
+  and the recompiled output can run *faster than the original binary*.
+
+Run:  python examples/fence_optimization.py
+"""
+
+from repro.core import (Recompiler, discover_callbacks, optimize_fences,
+                        run_image)
+from repro.workloads import get
+
+
+def measure(image, workload, label: str, seed: int = 9) -> float:
+    run = run_image(image, library=workload.library(), seed=seed)
+    assert run.ok, run.fault
+    print(f"   {label:<28} {run.wall_cycles:>10.0f} wall cycles")
+    return run.wall_cycles
+
+
+def main() -> None:
+    wl = get("linear_regression")
+    print(f"== workload: Phoenix {wl.name} (pthreads-only, O0 build) ==")
+    image = wl.compile(opt_level=0)
+    base = measure(image, wl, "original binary")
+
+    print("\n== conservative recompilation (fences inserted) ==")
+    callbacks = discover_callbacks(image, wl.library_factory(), seed=9)
+    plain = Recompiler(image,
+                       observed_callbacks=callbacks.observed).recompile()
+    print(f"   {plain.stats.fences_final} fences in the lifted IR")
+    fenced = measure(plain.image, wl, "recompiled, fences kept")
+
+    print("\n== running the implicit-synchronisation detector ==")
+    report = optimize_fences(image, wl.library_factory(), seed=9,
+                             observed_callbacks=callbacks.observed)
+    spin = report.spinloops
+    print(f"   loops analysed: {len(spin.verdicts)} "
+          f"(non-spinning {spin.count('non-spinning')}, "
+          f"spinning {spin.count('spinning')}, "
+          f"uncovered {spin.count('uncovered')})")
+    print(f"   fence removal applied: {report.applied}")
+    assert report.applied, "this kernel synchronises via pthreads only"
+
+    optimised = measure(report.result.image, wl,
+                        "recompiled, fences removed")
+
+    original_out = run_image(image, library=wl.library(), seed=9)
+    final_out = run_image(report.result.image, library=wl.library(), seed=9)
+    assert final_out.matches(original_out)
+
+    print(f"\n   normalised runtime with fences:    {fenced / base:.2f}x")
+    print(f"   normalised runtime after removal:  "
+          f"{optimised / base:.2f}x")
+    print("\n   (Table 2's O0 FO column: removing superfluous fences "
+          "makes Polynima a post-release optimizer.)")
+
+
+if __name__ == "__main__":
+    main()

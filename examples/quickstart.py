@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Quickstart: recompile a multithreaded binary and validate it.
+
+Walks the core Polynima loop end to end:
+
+1. build a multithreaded input binary (spinlock-guarded counter — the
+   kind of binary no prior recompiler handles);
+2. recover its control flow statically;
+3. lift, optimise and lower it into a standalone replacement binary;
+4. run both and compare observable behaviour and cost.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import Disassembler, Recompiler, run_image
+from repro.minicc import compile_minic
+
+SOURCE = r'''
+int counter;
+int lock;
+
+void spin_lock(int *l) {
+  while (__sync_lock_test_and_set(l, 1)) { }
+}
+
+void spin_unlock(int *l) {
+  __sync_lock_release(l);
+}
+
+int worker(int *arg) {
+  int i;
+  for (i = 0; i < 100; i += 1) {
+    spin_lock(&lock);
+    counter += 1;
+    spin_unlock(&lock);
+  }
+  return 0;
+}
+
+int main() {
+  int tids[4];
+  int t;
+  for (t = 0; t < 4; t += 1) {
+    pthread_create(&tids[t], 0, worker, (int*)t);
+  }
+  for (t = 0; t < 4; t += 1) {
+    pthread_join(tids[t], 0);
+  }
+  printf("counter=%d\n", counter);
+  return 0;
+}
+'''
+
+
+def main() -> None:
+    print("== compiling the input binary (gcc -O3 stand-in) ==")
+    image = compile_minic(SOURCE, opt_level=3)
+    print(f"   entry={image.entry:#x}, "
+          f"{sum(s.size for s in image.sections)} bytes, stripped")
+
+    print("\n== static control-flow recovery ==")
+    cfg = Disassembler(image).recover()
+    print(f"   {len(cfg.functions)} functions, {cfg.total_blocks()} blocks "
+          f"(pthread_create's start routine found via code-reference "
+          f"analysis)")
+
+    print("\n== recompiling ==")
+    result = Recompiler(image).recompile(cfg=cfg)
+    stats = result.stats
+    print(f"   lift {stats.lift_seconds:.2f}s, optimise "
+          f"{stats.opt_seconds:.2f}s, lower {stats.lower_seconds:.2f}s; "
+          f"{stats.fences_final} fences in the output")
+
+    print("\n== validating: original vs recompiled ==")
+    original = run_image(image, seed=7)
+    recompiled = run_image(result.image, seed=7)
+    print(f"   original:   {original.stdout.decode().strip()}   "
+          f"({original.wall_cycles:.0f} wall cycles, "
+          f"{original.threads} threads)")
+    print(f"   recompiled: {recompiled.stdout.decode().strip()}   "
+          f"({recompiled.wall_cycles:.0f} wall cycles, "
+          f"{recompiled.threads} threads)")
+    assert recompiled.matches(original), "outputs must match"
+    ratio = recompiled.wall_cycles / original.wall_cycles
+    print(f"\n   normalised runtime: {ratio:.2f}x  "
+          f"(paper average: 1.23x)")
+    print("   This keeps every conservatively-inserted fence; see\n"
+          "   examples/fence_optimization.py for the spinloop-detector\n"
+          "   pass that removes them and closes most of the gap.")
+
+
+if __name__ == "__main__":
+    main()

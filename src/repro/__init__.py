@@ -1,0 +1,47 @@
+"""repro — a full reproduction of Polynima (EuroSys 2024).
+
+Polynima is a hybrid binary recompiler for multithreaded binaries.  This
+package rebuilds the complete system on a self-contained substrate: the
+VX instruction set (:mod:`repro.isa`), VXE binary images
+(:mod:`repro.binfmt`), a multithreaded machine emulator
+(:mod:`repro.emulator`), the MiniC compiler used to produce realistic
+input binaries (:mod:`repro.minicc`), an SSA IR with an optimiser
+(:mod:`repro.ir`, :mod:`repro.passes`), the recompiler itself
+(:mod:`repro.core`), four baseline recompilers (:mod:`repro.baselines`)
+and the paper's benchmark workloads (:mod:`repro.workloads`).
+
+Quickstart::
+
+    from repro import compile_minic, Recompiler, run_image
+
+    image = compile_minic(source, opt_level=3)
+    result = run_image(image, params=(8,))
+    recompiled = Recompiler(image).recompile()
+    check = run_image(recompiled.image, params=(8,))
+    assert check.stdout == result.stdout
+"""
+
+__version__ = "1.0.0"
+
+from .binfmt import Image
+from .emulator import EmulationFault, ExternalLibrary, Machine
+
+__all__ = [
+    "Image", "EmulationFault", "ExternalLibrary", "Machine",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Late imports keep `import repro` cheap and avoid cycles while the
+    # higher layers (compiler, recompiler) pull in the lower ones.
+    if name == "compile_minic":
+        from .minicc import compile_minic
+        return compile_minic
+    if name == "Recompiler":
+        from .core import Recompiler
+        return Recompiler
+    if name == "run_image":
+        from .core.runner import run_image
+        return run_image
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,15 @@
+"""Baseline recompilers used in the paper's comparisons (Tables 1, 4;
+Figure 4): McSema, BinRec, Lasagne/mctoll and Rev.Ng, each modelled
+with its documented capabilities and limitations."""
+
+from .binrec import BinRecTracer, incremental_lift, recompile_binrec
+from .common import BaselineOutcome
+from .lasagne import recompile_lasagne
+from .mcsema import recompile_mcsema
+from .revng import recompile_revng
+
+__all__ = [
+    "BaselineOutcome", "BinRecTracer", "incremental_lift",
+    "recompile_binrec", "recompile_lasagne", "recompile_mcsema",
+    "recompile_revng",
+]

@@ -1,0 +1,43 @@
+"""McSema-like baseline: static lifting, experimental recompilation.
+
+Models the three properties the paper attributes to McSema (§2, §4):
+
+* entirely static control-flow recovery — indirect call targets are
+  whatever the disassembler's heuristics find, and there is **no miss
+  handler**: an unknown transfer aborts;
+* hardware atomic instructions are *translated* but its recompilation
+  of them is experimental — modelled as the non-atomic decomposition
+  (plain load/modify/store), which races under contention;
+* no multithreading support: the emulated stack and virtual register
+  state live in one shared global block ("global array of bytes",
+  §2.2.1), so a second thread entering lifted code corrupts the
+  first's state.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..binfmt import Image
+from ..core.recompiler import Recompiler
+from .common import BaselineOutcome
+
+
+def recompile_mcsema(image: Image) -> BaselineOutcome:
+    """McSema model: static lift, non-atomic RMW, shared CPU state."""
+    started = time.perf_counter()
+    try:
+        recompiler = Recompiler(
+            image,
+            atomic_mode="nonatomic",
+            insert_fences=False,        # no concurrency model at all
+            miss_mode="abort",
+            enter_import="__mcsema_enter",
+        )
+        result = recompiler.recompile()
+    except Exception as exc:
+        return BaselineOutcome("mcsema", supported=False,
+                               reason=f"lift failed: {exc}",
+                               lift_seconds=time.perf_counter() - started)
+    return BaselineOutcome("mcsema", supported=True, image=result.image,
+                           lift_seconds=time.perf_counter() - started)

@@ -1,0 +1,35 @@
+"""Rev.Ng-like baseline: static recompiler without thread support.
+
+The paper's evaluation observed faults in ``do_fork`` when running a
+Rev.Ng-translated multithreaded binary (§4 "Comparison with other
+lifters").  Modelled as: static CFG recovery (no miss handling, like
+the other static tools) and single-thread-only virtual state — a new
+thread entering lifted code finds no initialised state and faults.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..binfmt import Image
+from ..core.recompiler import Recompiler
+from .common import BaselineOutcome
+
+
+def recompile_revng(image: Image) -> BaselineOutcome:
+    """Rev.Ng model: static lift, aborts on indirect misses, main-only TLS."""
+    started = time.perf_counter()
+    try:
+        recompiler = Recompiler(
+            image,
+            insert_fences=False,
+            miss_mode="abort",
+            enter_import="__binrec_enter",      # main-thread-only init
+        )
+        result = recompiler.recompile()
+    except Exception as exc:
+        return BaselineOutcome("revng", supported=False,
+                               reason=f"lift failed: {exc}",
+                               lift_seconds=time.perf_counter() - started)
+    return BaselineOutcome("revng", supported=True, image=result.image,
+                           lift_seconds=time.perf_counter() - started)

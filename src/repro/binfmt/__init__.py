@@ -1,0 +1,6 @@
+"""VXE binary images and loading support."""
+
+from .image import IMPORT_STUB_BASE, IMPORT_STUB_SIZE, Image, ImageError, Section
+
+__all__ = ["IMPORT_STUB_BASE", "IMPORT_STUB_SIZE", "Image", "ImageError",
+           "Section"]

@@ -1,0 +1,219 @@
+"""The ``polynima`` command-line utility.
+
+"Polynima can be accessed through a single command-line utility that
+provides facilities for project management, disassembly, lifting and
+(additive) recompilation of binaries" (§4).
+
+Subcommands::
+
+    polynima compile  <src.c> -o prog.vxe [-O{0,2,3}]   # MiniC front end
+    polynima run      <prog.vxe> [--param N ...]
+    polynima disasm   <prog.vxe> [--json cfg.json]
+    polynima trace    <prog.vxe> --cfg cfg.json         # ICFT tracer
+    polynima lift     <prog.vxe> [--cfg cfg.json]       # print lifted IR
+    polynima recompile <prog.vxe> -o out.vxe [--additive] [--fence-opt]
+    polynima workloads [--group phoenix]                # list benchmarks
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .binfmt import Image
+from .core import (AdditiveLifting, Disassembler, ICFTTracer, Lifter,
+                   Recompiler, make_library, optimize_fences, run_image)
+from .ir import format_module
+from .minicc import compile_minic
+
+
+def _library_from_args(args) -> object:
+    params = tuple(int(p) for p in (args.param or []))
+    blob = b""
+    if getattr(args, "input", None):
+        with open(args.input, "rb") as handle:
+            blob = handle.read()
+    return make_library(input_blob=blob, params=params)
+
+
+def cmd_compile(args) -> int:
+    """``polynima compile``: MiniC source -> VXE image."""
+    with open(args.source) as handle:
+        source = handle.read()
+    image = compile_minic(source, opt_level=args.opt, name=args.source)
+    image.save(args.output)
+    print(f"wrote {args.output} "
+          f"({sum(s.size for s in image.sections)} bytes, O{args.opt})")
+    return 0
+
+
+def cmd_run(args) -> int:
+    """``polynima run``: execute a VXE image on the emulator."""
+    image = Image.load(args.binary)
+    result = run_image(image, library=_library_from_args(args),
+                       seed=args.seed)
+    sys.stdout.write(result.stdout.decode("latin1"))
+    if result.fault is not None:
+        print(f"[fault] {result.fault}", file=sys.stderr)
+        return 1
+    print(f"[exit {result.exit_code}; {result.instructions} instructions, "
+          f"{result.total_cycles} cycles]", file=sys.stderr)
+    return result.exit_code
+
+
+def cmd_disasm(args) -> int:
+    """``polynima disasm``: static CFG recovery, text or JSON."""
+    image = Image.load(args.binary)
+    cfg = Disassembler(image).recover()
+    if args.json:
+        cfg.save(args.json)
+        print(f"wrote {args.json}")
+    print(f"{len(cfg.functions)} functions, {cfg.total_blocks()} blocks, "
+          f"{cfg.total_indirect_sites()} indirect sites")
+    for entry in sorted(cfg.functions):
+        fn = cfg.functions[entry]
+        print(f"  fn {entry:#x}: {len(fn.blocks)} blocks")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """``polynima trace``: run the ICFT tracer and emit its CFG deltas."""
+    image = Image.load(args.binary)
+    tracer = ICFTTracer(image)
+    result = tracer.trace(lambda _item: _library_from_args(args),
+                          inputs=[None], seed=args.seed)
+    print(f"traced {result.instructions} instructions, "
+          f"{result.total_icfts} ICFTs")
+    if args.cfg:
+        from .core import RecoveredCFG
+        try:
+            cfg = RecoveredCFG.load(args.cfg)
+        except FileNotFoundError:
+            cfg = Recompiler(image).recover_cfg()
+        added = result.apply_to(cfg)
+        cfg.save(args.cfg)
+        print(f"augmented {args.cfg} (+{added} targets)")
+    return 0
+
+
+def cmd_lift(args) -> int:
+    """``polynima lift``: print the optimised Poly IR for an image."""
+    image = Image.load(args.binary)
+    recompiler = Recompiler(image)
+    if args.cfg:
+        from .core import RecoveredCFG
+        cfg = RecoveredCFG.load(args.cfg)
+    else:
+        cfg = recompiler.recover_cfg()
+    module = Lifter(image, cfg).lift()
+    print(format_module(module))
+    return 0
+
+
+def cmd_recompile(args) -> int:
+    """``polynima recompile``: produce the standalone replacement binary."""
+    image = Image.load(args.binary)
+    if args.fence_opt:
+        report = optimize_fences(image, lambda: _library_from_args(args),
+                                 seed=args.seed)
+        result = report.result
+        print(f"fence optimisation "
+              f"{'applied' if report.applied else 'NOT applied'} "
+              f"({report.spinloops.count('spinning')} spinning, "
+              f"{report.spinloops.count('non-spinning')} non-spinning, "
+              f"{report.spinloops.count('uncovered')} uncovered loops)")
+    elif args.additive:
+        lifting = AdditiveLifting(Recompiler(image))
+        report = lifting.run(lambda: _library_from_args(args),
+                             seed=args.seed)
+        result = report.result
+        print(f"additive lifting: {report.recompile_loops} recompilation "
+              f"loops, {report.total_seconds:.2f}s")
+    else:
+        result = Recompiler(image).recompile()
+    result.image.save(args.output)
+    stats = result.stats
+    print(f"wrote {args.output}: {stats.functions} functions, "
+          f"{stats.blocks} blocks, {stats.icfts} ICFTs, "
+          f"{stats.fences_final} fences, {stats.total_seconds:.2f}s")
+    return 0
+
+
+def cmd_workloads(args) -> int:
+    """``polynima workloads``: list the bundled benchmark programs."""
+    from .workloads import ALL_WORKLOADS
+    for wl in ALL_WORKLOADS:
+        if args.group and wl.group != args.group:
+            continue
+        sizes = ", ".join(sorted(wl.inputs))
+        print(f"{wl.name:20s} {wl.group:10s} inputs: {sizes}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="polynima",
+        description="Practical hybrid recompilation for multithreaded "
+                    "binaries (EuroSys 2024 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile MiniC source to a VXE binary")
+    p.add_argument("source")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("-O", "--opt", type=int, default=0, choices=(0, 2, 3))
+    p.set_defaults(func=cmd_compile)
+
+    def common_run_args(p):
+        """Attach the shared --seed/--params/--max-cycles options."""
+        p.add_argument("--param", action="append",
+                       help="integer parameter (repeatable)")
+        p.add_argument("--input", help="input blob file")
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("run", help="execute a VXE binary")
+    p.add_argument("binary")
+    common_run_args(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("disasm", help="static control-flow recovery")
+    p.add_argument("binary")
+    p.add_argument("--json", help="write the CFG JSON here")
+    p.set_defaults(func=cmd_disasm)
+
+    p = sub.add_parser("trace", help="run the ICFT tracer")
+    p.add_argument("binary")
+    p.add_argument("--cfg", help="CFG JSON to augment")
+    common_run_args(p)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("lift", help="print the lifted IR")
+    p.add_argument("binary")
+    p.add_argument("--cfg")
+    p.set_defaults(func=cmd_lift)
+
+    p = sub.add_parser("recompile", help="produce a recompiled binary")
+    p.add_argument("binary")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--additive", action="store_true",
+                   help="run the additive-lifting loop against the input")
+    p.add_argument("--fence-opt", action="store_true",
+                   help="run the §3.4 fence-removal analysis")
+    common_run_args(p)
+    p.set_defaults(func=cmd_recompile)
+
+    p = sub.add_parser("workloads", help="list benchmark workloads")
+    p.add_argument("--group")
+    p.set_defaults(func=cmd_workloads)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,315 @@
+"""Static control-flow recovery (the COTS-disassembler stage, §3.2).
+
+Recursive-descent disassembly from known entry points: the image entry,
+symbol-table entries (if present) and direct call targets.  Indirect
+jumps get a *jump-table heuristic* — the pattern-matching trick modern
+disassemblers use — while indirect call targets are left unresolved,
+matching the observation that static tools resolve jump tables well but
+indirect calls poorly (§2.1).
+
+The result can be imprecise (targets reached only through unresolved
+indirect transfers are missed), which is exactly the gap the ICFT
+tracer and additive lifting close.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..binfmt import Image
+from ..isa import Imm, Instruction, Mem, Reg, decode
+from ..isa.encoding import EncodingError
+from .cfg import BlockInfo, FunctionCFG, RecoveredCFG
+
+
+class DisassemblyError(Exception):
+    """Raised when recovery cannot make progress (bad entry, bad bytes)."""
+    pass
+
+
+class Disassembler:
+    """Static CFG recovery: recursive descent, jump-table heuristics, code-pointer discovery (the radare2 stand-in)."""
+    def __init__(self, image: Image) -> None:
+        self.image = image
+        self.text = image.section(".text")
+        self._decode_cache: Dict[int, Tuple[Instruction, int]] = {}
+
+    # -- decoding -------------------------------------------------------------
+
+    def decode_at(self, addr: int) -> Tuple[Instruction, int]:
+        """Decode one instruction at ``addr``; returns (instruction, size)."""
+        cached = self._decode_cache.get(addr)
+        if cached is not None:
+            return cached
+        if not self.text.contains(addr):
+            raise DisassemblyError(f"address {addr:#x} outside .text")
+        result = decode(self.text.data, addr - self.text.addr, addr)
+        self._decode_cache[addr] = result
+        return result
+
+    def block_instructions(self, start: int, end: int) -> List[Instruction]:
+        """Decode the instructions of block [start, end)."""
+        out = []
+        addr = start
+        while addr < end:
+            instr, size = self.decode_at(addr)
+            out.append(instr)
+            addr += size
+        return out
+
+    # -- whole-binary recovery --------------------------------------------------
+
+    def recover(self, extra_entries: Set[int] = frozenset(),
+                seed_cfg: Optional[RecoveredCFG] = None) -> RecoveredCFG:
+        """Recover the CFG from all statically known entry points.
+
+        ``seed_cfg`` carries previously known indirect targets (from the
+        tracer or additive lifting); its targets are explored too.
+        """
+        cfg = RecoveredCFG()
+        if seed_cfg is not None:
+            for site, targets in seed_cfg.indirect_targets.items():
+                for target in targets:
+                    cfg.add_indirect_target(
+                        site, target, traced=site in seed_cfg.traced_sites)
+            cfg.dynamic_entries = set(seed_cfg.dynamic_entries)
+
+        entries: Set[int] = {self.image.entry}
+        entries.update(self.image.symbols.values())
+        entries.update(extra_entries)
+        entries.update(cfg.dynamic_entries)
+
+        pending = sorted(entries)
+        explored: Set[int] = set()
+        while True:
+            while pending:
+                entry = pending.pop()
+                if entry in explored or not self.text.contains(entry):
+                    continue
+                explored.add(entry)
+                new_functions = self.explore_function(entry, cfg)
+                if not cfg.functions[entry].blocks:
+                    # Code-reference false positive (e.g. a jump table
+                    # address): nothing decodable at the entry.
+                    del cfg.functions[entry]
+                pending.extend(fn for fn in new_functions
+                               if fn not in explored)
+            # Code-reference analysis: immediates in discovered code
+            # that point at (aligned) .text addresses are address-taken
+            # functions — callback candidates (qsort comparators,
+            # pthread start routines, OpenMP outlined bodies).  This is
+            # how COTS disassemblers find functions that are never
+            # directly called.
+            fresh = [addr for addr in self._code_pointer_immediates(cfg)
+                     if addr not in explored]
+            if not fresh:
+                break
+            pending.extend(fresh)
+        return cfg
+
+    def _code_pointer_immediates(self, cfg: RecoveredCFG) -> Set[int]:
+        from ..isa import Imm
+        pointers: Set[int] = set()
+        for fn in cfg.functions.values():
+            for block in fn.blocks.values():
+                for instr in self.block_instructions(block.start,
+                                                     block.end):
+                    if instr.is_branch:
+                        continue
+                    for op in instr.operands:
+                        if isinstance(op, Imm) and op.value % 8 == 0 \
+                                and self.text.contains(op.value):
+                            pointers.add(op.value)
+        return pointers
+
+    # -- per-function recursive descent ---------------------------------------------
+
+    def explore_function(self, entry: int, cfg: RecoveredCFG) -> Set[int]:
+        """Explore one function; returns newly discovered callee entries.
+
+        Indirect *call* targets recorded in the CFG are treated as
+        function entries; indirect *jump* targets as blocks of the
+        current function (jump-table dispatch is intra-function).
+        """
+        fn = cfg.functions.setdefault(entry, FunctionCFG(entry=entry))
+        callees: Set[int] = set()
+        work: List[int] = [entry]
+        while work:
+            start = work.pop()
+            if start in fn.blocks or not self.text.contains(start):
+                continue
+            # Standard block splitting: a jump target inside an already
+            # scanned block truncates it there (fall-through edge), so
+            # every instruction belongs to exactly one block.
+            container = self._containing_block(fn, start)
+            if container is not None:
+                tail = self._scan_block(start, cfg, callees,
+                                        known_starts=fn.blocks)
+                if tail is None:
+                    continue
+                fn.blocks[container.start] = BlockInfo(
+                    start=container.start, end=start, terminator="fall",
+                    succs=[start])
+                fn.blocks[start] = tail
+                block = tail
+            else:
+                block = self._scan_block(start, cfg, callees,
+                                         known_starts=fn.blocks)
+                if block is None:
+                    continue
+                fn.blocks[start] = block
+            for succ in block.succs:
+                if succ not in fn.blocks:
+                    work.append(succ)
+            if block.fallthrough is not None and \
+                    block.fallthrough not in fn.blocks:
+                work.append(block.fallthrough)
+            # Newly discovered indirect-jump targets for sites inside
+            # this block.
+            if block.terminator == "indjmp":
+                site = self._terminator_addr(block)
+                for target in cfg.indirect_targets.get(site, ()):
+                    if target not in fn.blocks:
+                        work.append(target)
+        # Indirect call sites: targets (if known) are function entries.
+        for block in fn.blocks.values():
+            if block.terminator == "indcall":
+                site = self._terminator_addr(block)
+                for target in cfg.indirect_targets.get(site, ()):
+                    callees.add(target)
+        return callees
+
+    def _terminator_addr(self, block: BlockInfo) -> int:
+        """Address of the block's terminating instruction."""
+        addr = block.start
+        while True:
+            instr, size = self.decode_at(addr)
+            if addr + size >= block.end:
+                return addr
+            addr += size
+
+    def _containing_block(self, fn: FunctionCFG,
+                          addr: int) -> Optional[BlockInfo]:
+        for block in fn.blocks.values():
+            if block.start < addr < block.end:
+                return block
+        return None
+
+    def _scan_block(self, start: int, cfg: RecoveredCFG,
+                    callees: Set[int],
+                    known_starts=()) -> Optional[BlockInfo]:
+        addr = start
+        while True:
+            try:
+                instr, size = self.decode_at(addr)
+            except EncodingError:
+                # Ran into data or junk: truncate the block here.
+                if addr == start:
+                    return None
+                return BlockInfo(start=start, end=addr, terminator="ud2")
+            end = addr + size
+            if instr.mnemonic in ("ret", "hlt", "ud2"):
+                return BlockInfo(start=start, end=end,
+                                 terminator=instr.mnemonic)
+            if instr.is_branch:
+                return self._terminate_block(start, addr, end, instr, cfg,
+                                             callees)
+            addr = end
+            if addr != start and addr in known_starts:
+                # Fell into an existing block: end here (block split).
+                return BlockInfo(start=start, end=addr, terminator="fall",
+                                 succs=[addr])
+            if not self.text.contains(addr):
+                return BlockInfo(start=start, end=end, terminator="ud2")
+
+    def _terminate_block(self, start: int, term_addr: int, end: int,
+                         instr: Instruction, cfg: RecoveredCFG,
+                         callees: Set[int]) -> BlockInfo:
+        if instr.mnemonic == "jmp":
+            if instr.is_direct_branch:
+                target = instr.operands[0].value
+                return BlockInfo(start=start, end=end, terminator="jmp",
+                                 succs=[target])
+            # Indirect jump: try the jump-table heuristic.
+            for target in self._jump_table_targets(start, term_addr, instr):
+                cfg.add_indirect_target(term_addr, target)
+            succs = sorted(cfg.indirect_targets.get(term_addr, ()))
+            return BlockInfo(start=start, end=end, terminator="indjmp",
+                             succs=succs)
+        if instr.is_conditional:
+            target = instr.operands[0].value
+            return BlockInfo(start=start, end=end, terminator="jcc",
+                             succs=[target, end])
+        # call
+        if instr.is_direct_branch:
+            target = instr.operands[0].value
+            name = self.image.import_name(target)
+            if name is not None:
+                return BlockInfo(start=start, end=end, terminator="call",
+                                 external_call=name, fallthrough=end,
+                                 succs=[end])
+            callees.add(target)
+            return BlockInfo(start=start, end=end, terminator="call",
+                             call_target=target, fallthrough=end,
+                             succs=[end])
+        return BlockInfo(start=start, end=end, terminator="indcall",
+                         fallthrough=end, succs=[end])
+
+    # -- jump-table heuristic ------------------------------------------------------
+
+    def _jump_table_targets(self, block_start: int, term_addr: int,
+                            instr: Instruction) -> List[int]:
+        """Recognise the ``cmp idx, N; jae def; shl idx, 3; mov t, TBL;
+        add t, idx; jmp [t]`` idiom and read the table.
+
+        Falls back to bounded scanning (stop at the first word that does
+        not point into .text) when the bound is not found, as real
+        disassembler heuristics do.
+        """
+        target_op = instr.operands[0]
+        if not isinstance(target_op, Mem) or target_op.base is None:
+            return []
+        # Walk the block collecting the most recent constant moves and
+        # the last cmp-with-immediate.
+        table_addr: Optional[int] = None
+        bound: Optional[int] = None
+        addr = block_start
+        while addr < term_addr:
+            prior, size = self.decode_at(addr)
+            if prior.mnemonic == "mov" and len(prior.operands) == 2 and \
+                    isinstance(prior.operands[0], Reg) and \
+                    isinstance(prior.operands[1], Imm):
+                # The table base may flow through adds before the jump,
+                # so accept any constant whose pointee looks like code.
+                candidate = prior.operands[1].value
+                if self._plausible_table(candidate):
+                    table_addr = candidate
+            if prior.mnemonic == "cmp" and len(prior.operands) == 2 and \
+                    isinstance(prior.operands[1], Imm):
+                bound = prior.operands[1].value
+            addr += size
+        if table_addr is None:
+            return []
+        count = bound if (bound is not None and 0 < bound <= 4096) else 256
+        targets = []
+        for i in range(count):
+            word_addr = table_addr + i * 8
+            section = self.image.section_at(word_addr)
+            if section is None or word_addr + 8 > section.end:
+                break
+            value = int.from_bytes(
+                section.data[word_addr - section.addr:
+                             word_addr - section.addr + 8], "little")
+            if not self.text.contains(value):
+                break
+            targets.append(value)
+        return targets
+
+    def _plausible_table(self, addr: int) -> bool:
+        section = self.image.section_at(addr)
+        if section is None:
+            return False
+        value = int.from_bytes(
+            section.data[addr - section.addr:addr - section.addr + 8],
+            "little") if addr + 8 <= section.end else 0
+        return self.text.contains(value)

@@ -1,0 +1,151 @@
+"""Recompilation project management (§4: "a single command-line utility
+that provides facilities for project management, disassembly, lifting
+and (additive) recompilation").
+
+A project is a directory holding the input binary, the on-disk CFG the
+additive-lifting loop updates, recorded dynamic-analysis results, and
+the recompiled outputs — so a long-running recompilation effort
+(iterating on inputs, analyses and patches) is resumable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+from ..binfmt import Image
+from .cfg import RecoveredCFG
+from .icft_tracer import ICFTTracer, TraceResult
+from .recompiler import RecompileResult, Recompiler
+
+
+class ProjectError(Exception):
+    """Raised for missing/corrupt project directories."""
+    pass
+
+
+class RecompilationProject:
+    """State of one binary's recompilation effort, on disk."""
+
+    INPUT = "input.vxe"
+    CFG = "cfg.json"
+    OUTPUT = "recompiled.vxe"
+    STATE = "project.json"
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def create(cls, root: str, image: Image) -> "RecompilationProject":
+        """Initialise a project directory around an input image."""
+        os.makedirs(root, exist_ok=True)
+        project = cls(root)
+        image.save(project.path(cls.INPUT))
+        project._write_state({"observed_callbacks": [],
+                              "fence_opt_applied": False})
+        return project
+
+    @classmethod
+    def open(cls, root: str) -> "RecompilationProject":
+        """Open an existing project directory."""
+        project = cls(root)
+        if not os.path.exists(project.path(cls.INPUT)):
+            raise ProjectError(f"{root}: not a recompilation project")
+        return project
+
+    def path(self, name: str) -> str:
+        """Absolute path of a file inside the project."""
+        return os.path.join(self.root, name)
+
+    def _write_state(self, state: Dict) -> None:
+        with open(self.path(self.STATE), "w") as handle:
+            json.dump(state, handle, indent=1)
+
+    def _read_state(self) -> Dict:
+        try:
+            with open(self.path(self.STATE)) as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return {}
+
+    # -- artefacts ------------------------------------------------------------
+
+    @property
+    def input_image(self) -> Image:
+        """The project's input binary."""
+        return Image.load(self.path(self.INPUT))
+
+    @property
+    def cfg(self) -> Optional[RecoveredCFG]:
+        """The persisted recovered CFG, or None before recovery."""
+        try:
+            return RecoveredCFG.load(self.path(self.CFG))
+        except FileNotFoundError:
+            return None
+
+    def save_cfg(self, cfg: RecoveredCFG) -> None:
+        """Persist a recovered CFG into the project."""
+        cfg.save(self.path(self.CFG))
+
+    @property
+    def observed_callbacks(self) -> Set[int]:
+        """Callback entries recorded by previous analysis runs."""
+        return set(self._read_state().get("observed_callbacks", []))
+
+    def record_callbacks(self, observed: Set[int]) -> None:
+        """Persist newly observed callback entries."""
+        state = self._read_state()
+        merged = set(state.get("observed_callbacks", [])) | set(observed)
+        state["observed_callbacks"] = sorted(merged)
+        self._write_state(state)
+
+    # -- operations ------------------------------------------------------------
+
+    def disassemble(self) -> RecoveredCFG:
+        """(Re)run static recovery, seeded with prior knowledge."""
+        recompiler = Recompiler(self.input_image)
+        cfg = recompiler.recover_cfg(seed_cfg=self.cfg)
+        self.save_cfg(cfg)
+        return cfg
+
+    def trace(self, library_factory: Callable[[], object],
+              runs: int = 1, seed: int = 0) -> TraceResult:
+        """Run the ICFT tracer and fold results into the project CFG."""
+        image = self.input_image
+        result = ICFTTracer(image).trace(
+            lambda _x: library_factory(), inputs=[None] * runs, seed=seed)
+        cfg = self.cfg or self.disassemble()
+        result.apply_to(cfg)
+        recompiler = Recompiler(image)
+        cfg = recompiler.recover_cfg(seed_cfg=cfg)
+        self.save_cfg(cfg)
+        return result
+
+    def recompile(self, use_callbacks: bool = True) -> RecompileResult:
+        """Recompile with everything the project knows; saves output."""
+        observed = self.observed_callbacks if use_callbacks else None
+        recompiler = Recompiler(
+            self.input_image,
+            observed_callbacks=observed or None)
+        cfg = self.cfg or self.disassemble()
+        result = recompiler.recompile(cfg=cfg)
+        result.image.save(self.path(self.OUTPUT))
+        self.save_cfg(result.cfg)
+        return result
+
+    def record_miss(self, site: int, target: int,
+                    is_call: bool = False) -> RecoveredCFG:
+        """Fold one control-flow miss into the on-disk CFG (the additive
+        lifting update, §3.2) and re-explore from the new target."""
+        cfg = self.cfg or self.disassemble()
+        cfg.add_indirect_target(site, target)
+        if is_call:
+            cfg.dynamic_entries.add(target)
+        recompiler = Recompiler(self.input_image)
+        cfg = recompiler.recover_cfg(seed_cfg=cfg)
+        self.save_cfg(cfg)
+        return cfg

@@ -1,0 +1,189 @@
+"""The end-to-end recompilation driver (Figure 2).
+
+``Recompiler`` wires the stages together: static CFG recovery →
+optional ICFT-trace augmentation → lifting → fence insertion →
+optional instrumentation → optimisation → lowering → output image.
+Timing of each stage is recorded so the lifting-time experiments
+(Table 4, Figure 4) can be regenerated.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from ..binfmt import Image
+from ..ir import Module
+from ..passes import Inliner, PassManager, standard_pipeline
+from .cfg import RecoveredCFG
+from .disassembler import Disassembler
+from .fences import FenceInsertion, FenceMerge, count_fences, \
+    remove_lasagne_fences
+from .icft_tracer import ICFTTracer, TraceResult
+from .instrument import AccessInstrumentation, tag_sites
+from .lifter import Lifter
+from .runtime import RecompiledBinaryBuilder
+
+
+@dataclass
+class RecompileStats:
+    """Timing and size counters for one recompilation."""
+    disasm_seconds: float = 0.0
+    trace_seconds: float = 0.0
+    lift_seconds: float = 0.0
+    opt_seconds: float = 0.0
+    lower_seconds: float = 0.0
+    functions: int = 0
+    blocks: int = 0
+    icfts: int = 0
+    fences_inserted: int = 0
+    fences_final: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        """Lift + optimise + lower, in seconds."""
+        return (self.disasm_seconds + self.trace_seconds +
+                self.lift_seconds + self.opt_seconds + self.lower_seconds)
+
+
+@dataclass
+class RecompileResult:
+    """Everything a recompilation produced: image, module, CFG, stats."""
+    image: Image
+    module: Module
+    cfg: RecoveredCFG
+    stats: RecompileStats
+
+
+class Recompiler:
+    """Configurable recompilation pipeline.
+
+    Parameters mirror the system's knobs:
+
+    * ``atomic_mode``: ``"builtin"`` (Listing 2) or ``"naive"``
+      (Listing 1 ablation);
+    * ``insert_fences``: Lasagne fence insertion (§3.3.4) — disabled
+      only when the spinloop analysis proved it safe (§3.4) or for
+      single-threaded ablations;
+    * ``observed_callbacks``: set of function entry addresses observed
+      as external entry points by the callback analysis; when given,
+      unobserved functions are unmarked external, made inlinable, and
+      lose their wrappers/trampolines (§3.3.3);
+    * ``instrument_accesses``: build the memory-access-recording
+      variant used by the fence optimisation's dynamic analysis;
+    * ``record_entries``: build the callback-recording variant;
+    * ``lazy_flags`` / ``fence_stack_exemption``: ablation toggles for
+      the compare-fusion and emulated-stack fence exemptions.
+    """
+
+    def __init__(self, image: Image, atomic_mode: str = "builtin",
+                 insert_fences: bool = True,
+                 optimize: bool = True,
+                 observed_callbacks: Optional[Set[int]] = None,
+                 instrument_accesses: bool = False,
+                 record_entries: bool = False,
+                 miss_mode: str = "runtime",
+                 enter_import: str = "__poly_enter",
+                 lazy_flags: bool = True,
+                 fence_stack_exemption: bool = True) -> None:
+        self.image = image
+        self.atomic_mode = atomic_mode
+        self.insert_fences = insert_fences
+        self.optimize = optimize
+        self.observed_callbacks = observed_callbacks
+        self.instrument_accesses = instrument_accesses
+        self.record_entries = record_entries
+        self.miss_mode = miss_mode
+        self.enter_import = enter_import
+        self.lazy_flags = lazy_flags
+        self.fence_stack_exemption = fence_stack_exemption
+
+    # -- CFG recovery -----------------------------------------------------------
+
+    def recover_cfg(self, trace: Optional[TraceResult] = None,
+                    seed_cfg: Optional[RecoveredCFG] = None,
+                    stats: Optional[RecompileStats] = None) -> RecoveredCFG:
+        """Recover control flow statically, merging optional trace/seed CFGs."""
+        stats = stats or RecompileStats()
+        started = time.perf_counter()
+        if trace is not None:
+            scratch = RecoveredCFG() if seed_cfg is None else seed_cfg
+            trace.apply_to(scratch)
+            seed_cfg = scratch
+        disasm = Disassembler(self.image)
+        extra: Set[int] = set()
+        if seed_cfg is not None:
+            # Indirect-call targets recorded dynamically are function
+            # entry points.
+            for site, targets in seed_cfg.indirect_targets.items():
+                extra.update(targets)
+        cfg = disasm.recover(extra_entries=extra, seed_cfg=seed_cfg)
+        stats.disasm_seconds += time.perf_counter() - started
+        return cfg
+
+    # -- full pipeline -----------------------------------------------------------------
+
+    def recompile(self, cfg: Optional[RecoveredCFG] = None,
+                  trace: Optional[TraceResult] = None) -> RecompileResult:
+        """Lift, optimise and lower into a standalone replacement image."""
+        stats = RecompileStats()
+        if cfg is None:
+            cfg = self.recover_cfg(trace=trace, stats=stats)
+        stats.functions = len(cfg.functions)
+        stats.blocks = cfg.total_blocks()
+        stats.icfts = cfg.total_icfts()
+
+        started = time.perf_counter()
+        lifter = Lifter(self.image, cfg, atomic_mode=self.atomic_mode,
+                        miss_mode=self.miss_mode, lazy_flags=self.lazy_flags)
+        module = lifter.lift()
+        stats.lift_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        if self.insert_fences:
+            FenceInsertion(
+                exempt_stack=self.fence_stack_exemption).run_module(module)
+            FenceMerge().run_module(module)
+            stats.fences_inserted = count_fences(module)
+        # Stable access-site identities must be fixed before any
+        # optimisation so instrumented and production builds agree.
+        tag_sites(module)
+        if self.observed_callbacks is not None:
+            self._apply_callback_analysis(module)
+        if self.instrument_accesses:
+            AccessInstrumentation().run_module(module)
+        if self.optimize:
+            standard_pipeline().run(module)
+            if self.observed_callbacks is not None:
+                Inliner(max_blocks=8, respect_visibility=True) \
+                    .run_module(module)
+                standard_pipeline().run(module)
+        stats.fences_final = count_fences(module)
+        stats.opt_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        scrub = [(block.start, block.end)
+                 for fn in cfg.functions.values()
+                 for block in fn.blocks.values()]
+        builder = RecompiledBinaryBuilder(
+            module, self.image, record_entries=self.record_entries,
+            scrub_blocks=scrub, enter_import=self.enter_import)
+        image = builder.build()
+        stats.lower_seconds = time.perf_counter() - started
+        return RecompileResult(image=image, module=module, cfg=cfg,
+                               stats=stats)
+
+    def _apply_callback_analysis(self, module: Module) -> None:
+        """Unmark functions never observed as external entry points
+        (§3.3.3): they lose wrappers + trampolines and become available
+        for aggressive interprocedural optimisation."""
+        observed = self.observed_callbacks or set()
+        entry_addr = module.metadata.get("entry_addr")
+        for fn in module.functions:
+            if fn.origin_addr is None:
+                continue
+            if fn.origin_addr == entry_addr:
+                continue        # program entry stays external
+            if fn.origin_addr not in observed:
+                fn.external_visible = False

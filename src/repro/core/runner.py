@@ -1,0 +1,78 @@
+"""Convenience execution harness used by validation, benchmarks, tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..binfmt import Image
+from ..emulator import EmulationFault, ExternalLibrary, Machine
+
+
+@dataclass
+class RunResult:
+    """Observable outcome of one run: stdout, exit, cycles, faults."""
+    stdout: bytes
+    exit_code: int
+    total_cycles: int
+    wall_cycles: float
+    instructions: int
+    fault: Optional[EmulationFault]
+    threads: int
+    #: Polynima-runtime dynamic analysis records (if any).
+    access_log: Dict[str, set] = field(default_factory=dict)
+    entry_log: set = field(default_factory=set)
+    net_sent: List[bytes] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the run exited cleanly (no fault)."""
+        return self.fault is None
+
+    def matches(self, other: "RunResult") -> bool:
+        """Correctness check: same observable behaviour."""
+        return (self.ok and other.ok
+                and self.stdout == other.stdout
+                and self.exit_code == other.exit_code)
+
+
+def make_library(input_blob: bytes = b"", params: Sequence[int] = (),
+                 fs: Optional[Dict[str, bytes]] = None,
+                 net_script=None, omp_threads: int = 4) -> ExternalLibrary:
+    """Build an ExternalLibrary preloaded with input/params/clients."""
+    return ExternalLibrary(input_blob=input_blob, params=tuple(params),
+                           fs=fs, net_script=net_script,
+                           omp_threads=omp_threads)
+
+
+def run_image(image: Image, input_blob: bytes = b"",
+              params: Sequence[int] = (), fs=None, net_script=None,
+              omp_threads: int = 4, seed: int = 0, cores: int = 4,
+              max_cycles: int = 200_000_000,
+              library: Optional[ExternalLibrary] = None,
+              catch_faults: bool = True) -> RunResult:
+    """Run a VXE image under the stock environment and collect results."""
+    if library is None:
+        library = make_library(input_blob, params, fs, net_script,
+                               omp_threads)
+    machine = Machine(image, library, seed=seed, cores=cores)
+    fault: Optional[EmulationFault] = None
+    exit_code = -1
+    try:
+        exit_code = machine.run(max_cycles=max_cycles)
+    except EmulationFault as exc:
+        if not catch_faults:
+            raise
+        fault = exc
+    return RunResult(
+        stdout=bytes(machine.stdout),
+        exit_code=exit_code,
+        total_cycles=machine.total_cycles,
+        wall_cycles=machine.wall_cycles,
+        instructions=machine.instructions,
+        fault=fault,
+        threads=len(machine.threads),
+        access_log=dict(library.poly_access_log),
+        entry_log=set(library.poly_entry_log),
+        net_sent=[bytes(b) for b in library.net_sent],
+    )

@@ -1,0 +1,64 @@
+"""The virtual CPU state of lifted code (§3.3.2).
+
+Registers, flags and the vector register file are modelled as
+``thread_local`` globals so each thread of the recompiled binary
+operates on its own copy.  General-purpose registers and flags are
+*promotable* — the optimiser lifts them to SSA within functions — while
+the XMM registers are not (they are accessed lane-wise, reproducing the
+paper's observation that representing vector registers as globals
+blocks further optimisation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ir import GlobalVar, Module
+from ..isa import GPR_NAMES, VEC_NAMES
+
+FLAG_NAMES = ("zf", "sf", "cf", "of")
+
+#: TLS block layout (offsets in bytes).
+TLS_GPR_BASE = 0
+TLS_FLAG_BASE = 16 * 8
+TLS_XMM_BASE = TLS_FLAG_BASE + 16          # flags padded to 16 bytes
+TLS_BLOCK_SIZE = TLS_XMM_BASE + 8 * 16
+
+#: Default per-thread emulated stack size for recompiled binaries.
+EMUSTACK_SIZE = 1 << 16
+
+
+class VirtualState:
+    """Creates and indexes the virtual-state globals of a module."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.regs: Dict[str, GlobalVar] = {}
+        self.flags: Dict[str, GlobalVar] = {}
+        self.xmm: Dict[str, GlobalVar] = {}
+        for i, name in enumerate(GPR_NAMES):
+            var = GlobalVar(f"vreg_{name}", size=8, thread_local=True,
+                            promotable=True)
+            var.tls_offset = TLS_GPR_BASE + i * 8
+            module.add_global(var)
+            self.regs[name] = var
+        for i, name in enumerate(FLAG_NAMES):
+            var = GlobalVar(f"vflag_{name}", size=1, thread_local=True,
+                            promotable=True)
+            var.tls_offset = TLS_FLAG_BASE + i
+            module.add_global(var)
+            self.flags[name] = var
+        for i, name in enumerate(VEC_NAMES):
+            var = GlobalVar(f"vxmm{i}", size=16, thread_local=True,
+                            promotable=False)
+            var.tls_offset = TLS_XMM_BASE + i * 16
+            module.add_global(var)
+            self.xmm[name] = var
+
+    def reg(self, name: str) -> GlobalVar:
+        """The IR global holding a guest register's virtual state."""
+        return self.regs[name]
+
+    def flag(self, name: str) -> GlobalVar:
+        """The IR global holding a guest flag's virtual state."""
+        return self.flags[name]

@@ -1,0 +1,38 @@
+"""Cycle cost model for VX instructions.
+
+Costs are loosely calibrated against x86 latencies: memory traffic and
+serialising/atomic operations dominate, SIMD processes four lanes for
+the price of one scalar op.  The normalised-runtime experiments only
+depend on *ratios* between original and recompiled binaries, so the
+absolute scale is irrelevant; what matters is that atomics, fences and
+memory operations carry realistic relative weight.
+"""
+
+from __future__ import annotations
+
+BASE_COSTS = {
+    "mov": 1, "movsx": 1, "lea": 1, "xchg": 2,
+    "push": 2, "pop": 2,
+    "add": 1, "sub": 1, "and": 1, "or": 1, "xor": 1,
+    "shl": 1, "shr": 1, "sar": 1,
+    "imul": 3, "idiv": 22, "irem": 22,
+    "neg": 1, "not": 1, "inc": 1, "dec": 1,
+    "cmp": 1, "test": 1,
+    "jmp": 1, "call": 2, "ret": 2,
+    "je": 1, "jne": 1, "jl": 1, "jle": 1, "jg": 1, "jge": 1,
+    "jb": 1, "jbe": 1, "ja": 1, "jae": 1, "js": 1, "jns": 1,
+    "cmpxchg": 4, "xadd": 2, "mfence": 12,
+    "movdq": 1, "paddd": 1, "psubd": 1, "pmulld": 2, "pxor": 1,
+    "pextrd": 2, "pinsrd": 2, "pbroadcastd": 1,
+    "nop": 1, "hlt": 1, "ud2": 1, "rdtls": 1,
+}
+
+#: Extra cost per memory operand touched.
+MEMORY_ACCESS_COST = 3
+
+#: Extra cost of the bus lock taken by LOCK-prefixed instructions and
+#: implicitly-locked XCHG-with-memory.
+LOCK_COST = 16
+
+#: Fixed dispatch cost of a call through an import stub (PLT-like).
+EXTERNAL_CALL_COST = 8

@@ -1,0 +1,134 @@
+"""Flat segmented memory for the VX machine.
+
+Memory is a set of non-overlapping segments.  Reads and writes resolve
+the containing segment (with a one-entry cache, since accesses are
+strongly local) and fault on unmapped addresses — the behaviour that
+makes incorrectly recompiled binaries *observably* crash, which the
+evaluation relies on.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+
+class MemoryFault(Exception):
+    """An access to unmapped (or truncated) memory."""
+
+    def __init__(self, addr: int, size: int, kind: str) -> None:
+        super().__init__(f"{kind} fault: {size} bytes at {addr:#x}")
+        self.addr = addr
+        self.size = size
+        self.kind = kind
+
+
+class _Segment:
+    __slots__ = ("start", "end", "data", "name")
+
+    def __init__(self, start: int, data: bytearray, name: str) -> None:
+        self.start = start
+        self.end = start + len(data)
+        self.data = data
+        self.name = name
+
+
+class Memory:
+    """Sparse flat memory composed of mapped segments."""
+
+    def __init__(self) -> None:
+        self._segments: List[_Segment] = []
+        self._last: Optional[_Segment] = None
+
+    # -- mapping -------------------------------------------------------------
+
+    def map(self, addr: int, data_or_size, name: str = "anon") -> None:
+        """Map a segment at ``addr`` from bytes or a zero-filled size."""
+        if isinstance(data_or_size, int):
+            data = bytearray(data_or_size)
+        else:
+            data = bytearray(data_or_size)
+        new = _Segment(addr, data, name)
+        for seg in self._segments:
+            if new.start < seg.end and seg.start < new.end:
+                raise MemoryFault(addr, len(data), "map-overlap")
+        self._segments.append(new)
+        self._segments.sort(key=lambda seg: seg.start)
+        self._last = None
+
+    def unmap(self, addr: int) -> None:
+        """Remove the segment starting exactly at ``addr``."""
+        for i, seg in enumerate(self._segments):
+            if seg.start == addr:
+                del self._segments[i]
+                self._last = None
+                return
+        raise MemoryFault(addr, 0, "unmap")
+
+    def is_mapped(self, addr: int, size: int = 1) -> bool:
+        """True if [addr, addr+size) lies inside one mapped segment."""
+        seg = self._find(addr)
+        return seg is not None and addr + size <= seg.end
+
+    def segments(self) -> List[Tuple[int, int, str]]:
+        """(start, size, name) for every mapped segment."""
+        return [(seg.start, seg.end, seg.name) for seg in self._segments]
+
+    # -- access --------------------------------------------------------------
+
+    def _find(self, addr: int) -> Optional[_Segment]:
+        last = self._last
+        if last is not None and last.start <= addr < last.end:
+            return last
+        lo, hi = 0, len(self._segments)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            seg = self._segments[mid]
+            if addr < seg.start:
+                hi = mid
+            elif addr >= seg.end:
+                lo = mid + 1
+            else:
+                self._last = seg
+                return seg
+        return None
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Read ``size`` bytes; faults on unmapped addresses."""
+        seg = self._find(addr)
+        if seg is None or addr + size > seg.end:
+            raise MemoryFault(addr, size, "read")
+        off = addr - seg.start
+        return bytes(seg.data[off:off + size])
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write bytes; faults on unmapped or read-only addresses."""
+        seg = self._find(addr)
+        if seg is None or addr + len(data) > seg.end:
+            raise MemoryFault(addr, len(data), "write")
+        off = addr - seg.start
+        seg.data[off:off + len(data)] = data
+
+    def read_int(self, addr: int, width: int, signed: bool = False) -> int:
+        """Read a little-endian integer of ``width`` bytes."""
+        raw = self.read(addr, width)
+        return int.from_bytes(raw, "little", signed=signed)
+
+    def write_int(self, addr: int, value: int, width: int) -> None:
+        """Write a little-endian integer of ``width`` bytes."""
+        value &= (1 << (width * 8)) - 1
+        self.write(addr, value.to_bytes(width, "little"))
+
+    def read_cstr(self, addr: int, limit: int = 4096) -> bytes:
+        """Read a NUL-terminated byte string (bounded by ``limit``)."""
+        out = bytearray()
+        while len(out) < limit:
+            byte = self.read(addr + len(out), 1)[0]
+            if byte == 0:
+                break
+            out.append(byte)
+        return bytes(out)
+
+    def write_cstr(self, addr: int, text: bytes) -> None:
+        """Write ``text`` followed by a NUL byte."""
+        self.write(addr, bytes(text) + b"\x00")

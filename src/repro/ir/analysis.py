@@ -1,0 +1,225 @@
+"""Analyses over Poly IR functions: CFG orders, dominators, loops, users.
+
+Dominators use the Cooper–Harvey–Kennedy iterative algorithm; natural
+loops are derived from back edges.  All results are plain dictionaries —
+passes recompute them after mutating the CFG.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from .function import Block, Function
+from .instructions import Instruction, Phi
+from .values import Value
+
+
+def predecessors(fn: Function) -> Dict[Block, List[Block]]:
+    """Map each block to the blocks that branch to it."""
+    preds: Dict[Block, List[Block]] = {block: [] for block in fn.blocks}
+    for block in fn.blocks:
+        for succ in block.successors():
+            preds[succ].append(block)
+    return preds
+
+
+def reverse_postorder(fn: Function) -> List[Block]:
+    """Blocks in reverse postorder from the entry (dominators converge fast)."""
+    seen: Set[Block] = set()
+    order: List[Block] = []
+
+    def visit(block: Block) -> None:
+        """DFS helper for the postorder walk."""
+        stack = [(block, iter(block.successors()))]
+        seen.add(block)
+        while stack:
+            current, successors = stack[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, iter(succ.successors())))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(current)
+                stack.pop()
+
+    if fn.blocks:
+        visit(fn.entry)
+    order.reverse()
+    return order
+
+
+def reachable_blocks(fn: Function) -> Set[Block]:
+    """The set of blocks reachable from the entry."""
+    return set(reverse_postorder(fn))
+
+
+def dominators(fn: Function) -> Dict[Block, Optional[Block]]:
+    """Immediate dominators (entry maps to None)."""
+    order = reverse_postorder(fn)
+    index = {block: i for i, block in enumerate(order)}
+    preds = predecessors(fn)
+    idom: Dict[Block, Optional[Block]] = {block: None for block in order}
+    entry = fn.entry
+    idom[entry] = entry
+    changed = True
+    while changed:
+        changed = False
+        for block in order:
+            if block is entry:
+                continue
+            new_idom = None
+            for pred in preds[block]:
+                if pred not in index or idom.get(pred) is None:
+                    continue
+                if new_idom is None:
+                    new_idom = pred
+                else:
+                    new_idom = _intersect(pred, new_idom, idom, index)
+            if new_idom is not None and idom[block] is not new_idom:
+                idom[block] = new_idom
+                changed = True
+    idom[entry] = None
+    return idom
+
+
+def _intersect(a: Block, b: Block, idom, index) -> Block:
+    while a is not b:
+        while index[a] > index[b]:
+            a = idom[a]
+        while index[b] > index[a]:
+            b = idom[b]
+    return a
+
+
+def dominance_frontiers(fn: Function) -> Dict[Block, Set[Block]]:
+    """Cytron-style dominance frontiers, used for phi placement."""
+    idom = dominators(fn)
+    preds = predecessors(fn)
+    frontiers: Dict[Block, Set[Block]] = {block: set() for block in fn.blocks}
+    for block in fn.blocks:
+        if block not in idom:
+            continue
+        if len(preds[block]) >= 2:
+            for pred in preds[block]:
+                runner = pred
+                while runner is not None and runner is not idom[block]:
+                    frontiers.setdefault(runner, set()).add(block)
+                    runner = idom.get(runner)
+    return frontiers
+
+
+def dominates(a: Block, b: Block, idom: Dict[Block, Optional[Block]]) -> bool:
+    """Does block ``a`` dominate block ``b``?"""
+    runner: Optional[Block] = b
+    while runner is not None:
+        if runner is a:
+            return True
+        runner = idom.get(runner)
+    return False
+
+
+class Loop:
+    """A natural loop: header + body blocks + exits."""
+
+    def __init__(self, header: Block, blocks: Set[Block]) -> None:
+        self.header = header
+        self.blocks = blocks
+
+    def exit_edges(self) -> List[Tuple[Block, Block]]:
+        """Edges leaving the loop: (inside block, outside successor) pairs."""
+        edges = []
+        for block in self.blocks:
+            for succ in block.successors():
+                if succ not in self.blocks:
+                    edges.append((block, succ))
+        return edges
+
+    def exiting_blocks(self) -> List[Block]:
+        """Loop blocks with at least one successor outside the loop."""
+        return sorted({src for src, _ in self.exit_edges()},
+                      key=lambda b: b.name)
+
+    def latches(self, preds: Dict[Block, List[Block]]) -> List[Block]:
+        """Loop blocks that branch back to the header."""
+        return [p for p in preds[self.header] if p in self.blocks]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<loop header={self.header.name} size={len(self.blocks)}>"
+
+
+def natural_loops(fn: Function) -> List[Loop]:
+    """Find natural loops via back edges (target dominates source).
+
+    Back edges sharing a header are merged into one loop, as LLVM's
+    LoopInfo does.
+    """
+    idom = dominators(fn)
+    preds = predecessors(fn)
+    loops: Dict[Block, Set[Block]] = {}
+    reachable = set(reverse_postorder(fn))
+    for block in fn.blocks:
+        if block not in reachable:
+            continue
+        for succ in block.successors():
+            if dominates(succ, block, idom):
+                # back edge block -> succ; collect body
+                body = loops.setdefault(succ, {succ})
+                stack = [block]
+                while stack:
+                    node = stack.pop()
+                    if node in body:
+                        continue
+                    body.add(node)
+                    stack.extend(p for p in preds[node] if p in reachable)
+    return [Loop(header, body) for header, body in loops.items()]
+
+
+def back_edge_loops(fn: Function) -> List[Loop]:
+    """One loop per *back edge* (no same-header merging).
+
+    A loop merged from several back edges can hide a spinning inner
+    cycle behind a well-behaved outer exit, so termination analyses
+    must consider each cycle separately.
+    """
+    idom = dominators(fn)
+    preds = predecessors(fn)
+    reachable = set(reverse_postorder(fn))
+    loops: List[Loop] = []
+    for block in fn.blocks:
+        if block not in reachable:
+            continue
+        for succ in block.successors():
+            if dominates(succ, block, idom):
+                body: Set[Block] = {succ}
+                stack = [block]
+                while stack:
+                    node = stack.pop()
+                    if node in body:
+                        continue
+                    body.add(node)
+                    stack.extend(p for p in preds[node] if p in reachable)
+                loops.append(Loop(succ, body))
+    return loops
+
+
+def users_map(fn: Function) -> Dict[Value, List[Instruction]]:
+    """Def-use map: value -> instructions using it."""
+    users: Dict[Value, List[Instruction]] = {}
+    for instr in fn.instructions():
+        for op in instr.operands:
+            users.setdefault(op, []).append(instr)
+    return users
+
+
+def replace_all_uses(fn: Function, old: Value, new: Value) -> int:
+    """Rewrite every use of ``old`` to ``new``; returns the use count."""
+    count = 0
+    for instr in fn.instructions():
+        for i, op in enumerate(instr.operands):
+            if op is old:
+                instr.operands[i] = new
+                count += 1
+    return count

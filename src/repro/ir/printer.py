@@ -1,0 +1,116 @@
+"""Textual rendering of Poly IR, for debugging and documentation."""
+
+from __future__ import annotations
+
+from .function import Block, Function, Module
+from .instructions import (Alloca, AtomicRMW, BinOp, Br, Call, Cast, Cmpxchg,
+                           CompilerBarrier, CondBr, Fence, ICmp, Instruction,
+                           Load, Phi, Ret, Select, Store, Switch, Unreachable)
+from .values import Value
+
+
+def _v(value) -> str:
+    if value is None:
+        return "void"
+    if isinstance(value, Value):
+        return value.short()
+    return str(value)
+
+
+def format_instr(instr: Instruction) -> str:
+    """Render one instruction in the textual IR syntax."""
+    tags = f"  ; {{{', '.join(sorted(instr.tags))}}}" if instr.tags else ""
+    if isinstance(instr, Alloca):
+        return f"%{instr.name} = alloca {instr.size}{tags}"
+    if isinstance(instr, Load):
+        order = f" {instr.ordering}" if instr.ordering else ""
+        return (f"%{instr.name} = load.i{instr.width * 8}{order} "
+                f"{_v(instr.addr)}{tags}")
+    if isinstance(instr, Store):
+        order = f" {instr.ordering}" if instr.ordering else ""
+        return (f"store.i{instr.width * 8}{order} {_v(instr.value)}, "
+                f"{_v(instr.addr)}{tags}")
+    if isinstance(instr, Fence):
+        return f"fence {instr.ordering}{tags}"
+    if isinstance(instr, CompilerBarrier):
+        return f"compiler_barrier{tags}"
+    if isinstance(instr, Cmpxchg):
+        return (f"%{instr.name} = cmpxchg.i{instr.width * 8} {_v(instr.addr)}"
+                f", {_v(instr.operands[1])}, {_v(instr.operands[2])} seq_cst{tags}")
+    if isinstance(instr, AtomicRMW):
+        return (f"%{instr.name} = atomicrmw {instr.op}.i{instr.width * 8} "
+                f"{_v(instr.addr)}, {_v(instr.operands[1])} seq_cst{tags}")
+    if isinstance(instr, BinOp):
+        return (f"%{instr.name} = {instr.op} {_v(instr.operands[0])}, "
+                f"{_v(instr.operands[1])}{tags}")
+    if isinstance(instr, ICmp):
+        return (f"%{instr.name} = icmp {instr.pred} {_v(instr.operands[0])}, "
+                f"{_v(instr.operands[1])}{tags}")
+    if isinstance(instr, Select):
+        ops = instr.operands
+        return (f"%{instr.name} = select {_v(ops[0])}, {_v(ops[1])}, "
+                f"{_v(ops[2])}{tags}")
+    if isinstance(instr, Cast):
+        return (f"%{instr.name} = {instr.kind} {_v(instr.operands[0])} to "
+                f"{instr.type}{tags}")
+    if isinstance(instr, Phi):
+        pairs = ", ".join(f"[{_v(value)}, {block.name}]"
+                          for value, block in instr.incoming())
+        return f"%{instr.name} = phi {pairs}{tags}"
+    if isinstance(instr, Br):
+        return f"br {instr.target.name}{tags}"
+    if isinstance(instr, CondBr):
+        return (f"condbr {_v(instr.cond)}, {instr.if_true.name}, "
+                f"{instr.if_false.name}{tags}")
+    if isinstance(instr, Switch):
+        cases = ", ".join(f"{value} -> {block.name}"
+                          for value, block in instr.cases)
+        return (f"switch {_v(instr.value)}, default {instr.default.name} "
+                f"[{cases}]{tags}")
+    if isinstance(instr, Call):
+        args = ", ".join(_v(a) for a in instr.operands)
+        target = (f"ext:{instr.callee}" if instr.is_external
+                  else f"@{instr.callee.name}")
+        if instr.type.__class__.__name__ == "VoidType":
+            return f"call {target}({args}){tags}"
+        return f"%{instr.name} = call {target}({args}){tags}"
+    if isinstance(instr, Ret):
+        return f"ret {_v(instr.value)}{tags}"
+    if isinstance(instr, Unreachable):
+        return f"unreachable{tags}"
+    return f"<?{instr.opcode}?>"
+
+
+def format_block(block: Block) -> str:
+    """Render a labelled block with its instructions."""
+    origin = f"  ; {block.origin_addr:#x}" if block.origin_addr else ""
+    lines = [f"{block.name}:{origin}"]
+    for instr in block.instructions:
+        lines.append("  " + format_instr(instr))
+    return "\n".join(lines)
+
+
+def format_function(fn: Function) -> str:
+    """Render a whole function definition."""
+    params = ", ".join(f"{p.type} %{p.name}" for p in fn.params)
+    visibility = "external " if fn.external_visible else ""
+    origin = f"  ; origin {fn.origin_addr:#x}" if fn.origin_addr else ""
+    lines = [f"{visibility}define {fn.return_type} @{fn.name}({params}) {{{origin}"]
+    for block in fn.blocks:
+        lines.append(format_block(block))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    """Render globals, imports and every function."""
+    lines = [f"; module {module.name}"]
+    for var in module.globals:
+        tl = " thread_local" if var.thread_local else ""
+        lines.append(f"@{var.name} = global [{var.size} bytes]{tl}")
+    if module.imports:
+        lines.append("; imports: " + ", ".join(module.imports))
+    for fn in module.functions:
+        lines.append("")
+        lines.append(format_function(fn))
+    return "\n".join(lines)

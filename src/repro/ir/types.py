@@ -1,0 +1,46 @@
+"""Types for the Poly IR.
+
+The lifted IR is deliberately low level, mirroring what a binary lifter
+can know: integers of the machine's widths and an untyped 64-bit address
+space (pointers are ``i64``).  Memory operations carry an explicit
+access width instead of a pointee type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IntType:
+    """An integer type of a fixed bit width (i1/i8/i16/i32/i64)."""
+    bits: int
+
+    def __repr__(self) -> str:
+        return f"i{self.bits}"
+
+
+@dataclass(frozen=True)
+class VoidType:
+    """The type of instructions that produce no value."""
+    def __repr__(self) -> str:
+        return "void"
+
+
+I1 = IntType(1)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+I128 = IntType(128)
+VOID = VoidType()
+
+
+def int_type(bits: int) -> IntType:
+    """The canonical (interned) IntType for a bit width."""
+    return {1: I1, 8: I8, 16: I16, 32: I32, 64: I64, 128: I128}[bits]
+
+
+def type_for_width(width_bytes: int) -> IntType:
+    """IR type for a memory access width in bytes."""
+    return int_type(width_bytes * 8)

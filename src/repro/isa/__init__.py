@@ -1,0 +1,29 @@
+"""The VX instruction set architecture.
+
+A compact, byte-encoded, x86-64-flavoured virtual ISA used as the
+machine-code substrate of the Polynima reproduction: sixteen 64-bit
+GPRs, condition flags, LOCK-prefixed atomic read-modify-write
+instructions, CMPXCHG/XADD/XCHG, MFENCE and a small 128-bit SIMD
+extension.
+"""
+
+from .assembler import AssembledCode, Assembler, AssemblerError
+from .encoding import EncodingError, decode, encode, encoded_size
+from .instructions import (BRANCHES, CONDITIONAL_JUMPS, Imm, Instruction,
+                           Label, LOCKABLE, Mem, MNEMONICS, SIMD_MNEMONICS,
+                           TERMINATORS, ins)
+from .registers import (ARG_REGS, CALLEE_SAVED, CALLER_SAVED, FLAG_NAMES,
+                        GPR_NAMES, GPRS, RET_REG, Reg, VEC_NAMES, XMM,
+                        RAX, RCX, RDX, RBX, RSP, RBP, RSI, RDI,
+                        R8, R9, R10, R11, R12, R13, R14, R15)
+
+__all__ = [
+    "AssembledCode", "Assembler", "AssemblerError",
+    "EncodingError", "decode", "encode", "encoded_size",
+    "BRANCHES", "CONDITIONAL_JUMPS", "Imm", "Instruction", "Label",
+    "LOCKABLE", "Mem", "MNEMONICS", "SIMD_MNEMONICS", "TERMINATORS", "ins",
+    "ARG_REGS", "CALLEE_SAVED", "CALLER_SAVED", "FLAG_NAMES", "GPR_NAMES",
+    "GPRS", "RET_REG", "Reg", "VEC_NAMES", "XMM",
+    "RAX", "RCX", "RDX", "RBX", "RSP", "RBP", "RSI", "RDI",
+    "R8", "R9", "R10", "R11", "R12", "R13", "R14", "R15",
+]

@@ -1,0 +1,276 @@
+"""Binary encoding of VX instructions.
+
+Layout (variable length, little endian):
+
+    byte 0      opcode (index into :data:`MNEMONICS`)
+    byte 1      flags: bit0 = lock prefix, bits1-3 = width code,
+                bits4-7 = operand form
+    bytes 2..   operand payloads in order
+
+Operand payloads:
+
+    register    1 byte (:attr:`Reg.encoding`)
+    immediate   8 bytes, signed
+    rel32       4 bytes, signed, relative to the *end* of the instruction
+    memory      1 mode byte (bit0 base present, bit1 index present,
+                bits2-3 = log2(scale)) + optional base byte + optional
+                index byte + 4-byte signed displacement
+
+Direct jumps and calls use the REL form; everything else encodes
+immediates as full 8-byte values, which keeps instruction sizes
+independent of operand values (the assembler relies on this).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from .instructions import (BRANCHES, Imm, Instruction, Mem, MNEMONICS,
+                           OPCODE_BY_MNEMONIC, Operand)
+from .registers import Reg
+
+# Operand form codes (bits 4-7 of the flags byte).
+FORM_NONE = 0
+FORM_R = 1
+FORM_I = 2
+FORM_M = 3
+FORM_RR = 4
+FORM_RI = 5
+FORM_RM = 6
+FORM_MR = 7
+FORM_MI = 8
+FORM_REL = 9
+FORM_RRI = 10
+FORM_MRR = 11   # cmpxchg [mem], reg  (implicit rax) -> M,R ; reserved
+
+_WIDTH_CODES = {1: 0, 2: 1, 4: 2, 8: 3, 16: 4}
+_WIDTH_BY_CODE = {v: k for k, v in _WIDTH_CODES.items()}
+
+
+class EncodingError(Exception):
+    """Raised when an instruction cannot be encoded or decoded."""
+
+
+def _operand_form(instr: Instruction) -> int:
+    ops = instr.operands
+    if instr.is_branch:
+        if len(ops) != 1:
+            raise EncodingError(f"branch needs one operand: {instr!r}")
+        target = ops[0]
+        if isinstance(target, Imm):
+            return FORM_REL
+        if isinstance(target, Reg):
+            return FORM_R
+        if isinstance(target, Mem):
+            return FORM_M
+        raise EncodingError(f"unresolved label in {instr!r}")
+    kinds = tuple(type(op) for op in ops)
+    if kinds == ():
+        return FORM_NONE
+    if kinds == (Reg,):
+        return FORM_R
+    if kinds == (Imm,):
+        return FORM_I
+    if kinds == (Mem,):
+        return FORM_M
+    if kinds == (Reg, Reg):
+        return FORM_RR
+    if kinds == (Reg, Imm):
+        return FORM_RI
+    if kinds == (Reg, Mem):
+        return FORM_RM
+    if kinds == (Mem, Reg):
+        return FORM_MR
+    if kinds == (Mem, Imm):
+        return FORM_MI
+    if kinds == (Reg, Reg, Imm):
+        return FORM_RRI
+    raise EncodingError(f"unsupported operand combination {kinds} in {instr!r}")
+
+
+def _encode_mem(mem: Mem) -> bytes:
+    mode = 0
+    payload = bytearray()
+    if mem.base is not None:
+        mode |= 1
+        payload.append(mem.base.encoding)
+    if mem.index is not None:
+        mode |= 2
+        payload.append(mem.index.encoding)
+    mode |= {1: 0, 2: 1, 4: 2, 8: 3}[mem.scale] << 2
+    payload += struct.pack("<i", mem.disp)
+    return bytes([mode]) + bytes(payload)
+
+
+def encode(instr: Instruction, address: int = 0) -> bytes:
+    """Encode ``instr`` for placement at ``address``.
+
+    The address matters only for REL-form branches, whose displacement is
+    relative to the end of the instruction.
+    """
+    opcode = OPCODE_BY_MNEMONIC[instr.mnemonic]
+    form = _operand_form(instr)
+    flags = (1 if instr.lock else 0) | (_WIDTH_CODES[instr.width] << 1) | (form << 4)
+    body = bytearray([opcode, flags])
+    if form == FORM_REL:
+        # Size is fixed: 2 header bytes + 4 displacement bytes.
+        target = instr.operands[0].value
+        rel = target - (address + 6)
+        body += struct.pack("<i", rel)
+        return bytes(body)
+    for op in instr.operands:
+        if isinstance(op, Reg):
+            body.append(op.encoding)
+        elif isinstance(op, Imm):
+            body += struct.pack("<q", _wrap64(op.value))
+        elif isinstance(op, Mem):
+            body += _encode_mem(op)
+        else:
+            raise EncodingError(f"cannot encode operand {op!r}")
+    return bytes(body)
+
+
+def encoded_size(instr: Instruction) -> int:
+    """Size in bytes of the encoding of ``instr`` (address independent)."""
+    form = _operand_form(instr)
+    if form == FORM_REL:
+        return 6
+    size = 2
+    for op in instr.operands:
+        if isinstance(op, Reg):
+            size += 1
+        elif isinstance(op, Imm):
+            size += 8
+        elif isinstance(op, Mem):
+            size += 5 + (1 if op.base is not None else 0) \
+                      + (1 if op.index is not None else 0)
+    return size
+
+
+def _wrap64(value: int) -> int:
+    value &= (1 << 64) - 1
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+def decode(data: bytes, offset: int = 0, address: int = 0) -> Tuple[Instruction, int]:
+    """Decode one instruction from ``data[offset:]``.
+
+    ``address`` is the virtual address of the instruction, used to
+    materialise REL branch targets as absolute immediates.  Returns the
+    instruction and its encoded size.
+    """
+    try:
+        opcode = data[offset]
+        flags = data[offset + 1]
+    except IndexError:
+        raise EncodingError(f"truncated instruction at {address:#x}")
+    if opcode >= len(MNEMONICS):
+        raise EncodingError(f"bad opcode {opcode:#x} at {address:#x}")
+    mnemonic = MNEMONICS[opcode]
+    lock = bool(flags & 1)
+    width_code = (flags >> 1) & 0x7
+    if width_code not in _WIDTH_BY_CODE:
+        raise EncodingError(f"bad width code {width_code} at {address:#x}")
+    width = _WIDTH_BY_CODE[width_code]
+    form = flags >> 4
+    pos = offset + 2
+
+    def take_reg() -> Reg:
+        """Consume one register operand from the byte stream."""
+        nonlocal pos
+        value = data[pos]
+        pos += 1
+        try:
+            return Reg.from_encoding(value)
+        except IndexError:
+            raise EncodingError(f"bad register byte {value:#x} at {address:#x}")
+
+    def take_imm() -> Imm:
+        """Consume one 64-bit immediate operand from the byte stream."""
+        nonlocal pos
+        value = struct.unpack_from("<q", data, pos)[0]
+        pos += 8
+        return Imm(value)
+
+    def take_mem() -> Mem:
+        """Consume one memory operand (base/index/scale/disp) from the stream."""
+        nonlocal pos
+        mode = data[pos]
+        pos += 1
+        base = take_reg() if mode & 1 else None
+        index = take_reg() if mode & 2 else None
+        scale = 1 << ((mode >> 2) & 3)
+        disp = struct.unpack_from("<i", data, pos)[0]
+        pos += 4
+        return Mem(base=base, index=index, scale=scale, disp=disp)
+
+    operands: List[Operand] = []
+    try:
+        if form == FORM_NONE:
+            pass
+        elif form == FORM_R:
+            operands.append(take_reg())
+        elif form == FORM_I:
+            operands.append(take_imm())
+        elif form == FORM_M:
+            operands.append(take_mem())
+        elif form == FORM_RR:
+            operands.extend((take_reg(), take_reg()))
+        elif form == FORM_RI:
+            operands.extend((take_reg(), take_imm()))
+        elif form == FORM_RM:
+            operands.extend((take_reg(), take_mem()))
+        elif form == FORM_MR:
+            operands.extend((take_mem(), take_reg()))
+        elif form == FORM_MI:
+            operands.extend((take_mem(), take_imm()))
+        elif form == FORM_REL:
+            rel = struct.unpack_from("<i", data, pos)[0]
+            pos += 4
+            operands.append(Imm(address + 6 + rel))
+        elif form == FORM_RRI:
+            operands.extend((take_reg(), take_reg(), take_imm()))
+        else:
+            raise EncodingError(f"bad operand form {form} at {address:#x}")
+    except (IndexError, struct.error):
+        raise EncodingError(f"truncated instruction at {address:#x}")
+
+    try:
+        instr = Instruction(mnemonic, tuple(operands), lock=lock,
+                            width=width, address=address)
+    except ValueError as exc:
+        # Invalid mnemonic/lock/width combinations in the byte stream
+        # are decoding errors, not programming errors.
+        raise EncodingError(f"bad instruction at {address:#x}: {exc}")
+    if not _arity_ok(mnemonic, len(operands)):
+        raise EncodingError(
+            f"bad operand count {len(operands)} for {mnemonic!r} "
+            f"at {address:#x}")
+    return instr, pos - offset
+
+
+#: Valid operand counts per mnemonic (decode-time validation).
+_ARITY = {
+    "mov": (2,), "movsx": (2,), "lea": (2,), "xchg": (2,),
+    "push": (1,), "pop": (1,),
+    "add": (2,), "sub": (2,), "and": (2,), "or": (2,), "xor": (2,),
+    "shl": (2,), "shr": (2,), "sar": (2,),
+    "imul": (2,), "idiv": (2,), "irem": (2,),
+    "neg": (1,), "not": (1,), "inc": (1,), "dec": (1,),
+    "cmp": (2,), "test": (2,),
+    "jmp": (1,), "call": (1,), "ret": (0,),
+    "cmpxchg": (2,), "xadd": (2,), "mfence": (0,),
+    "movdq": (2,), "paddd": (2,), "psubd": (2,), "pmulld": (2,),
+    "pxor": (2,), "pextrd": (3,), "pinsrd": (3,), "pbroadcastd": (2,),
+    "nop": (0,), "hlt": (0,), "ud2": (0,), "rdtls": (1,),
+}
+for _cc in ("je", "jne", "jl", "jle", "jg", "jge",
+            "jb", "jbe", "ja", "jae", "js", "jns"):
+    _ARITY[_cc] = (1,)
+
+
+def _arity_ok(mnemonic: str, count: int) -> bool:
+    return count in _ARITY.get(mnemonic, (count,))

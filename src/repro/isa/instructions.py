@@ -1,0 +1,218 @@
+"""Instruction and operand model for the VX ISA.
+
+An :class:`Instruction` is a mnemonic plus up to three operands, an
+optional ``lock`` prefix (atomicity, as on x86), and an operand width in
+bytes.  Widths below 8 truncate results and compute flags at that width,
+modelling 32/16/8-bit x86 operations; width 16 denotes a 128-bit vector
+operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from .registers import Reg
+
+VALID_WIDTHS = (1, 2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand (64-bit signed)."""
+
+    value: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"${self.value:#x}" if abs(self.value) > 9 else f"${self.value}"
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory operand: ``[base + index*scale + disp]``."""
+
+    base: Optional[Reg] = None
+    index: Optional[Reg] = None
+    scale: int = 1
+    disp: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError(f"invalid scale {self.scale}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        parts = []
+        if self.base is not None:
+            parts.append(self.base.name)
+        if self.index is not None:
+            parts.append(f"{self.index.name}*{self.scale}")
+        if self.disp or not parts:
+            parts.append(f"{self.disp:#x}")
+        return "[" + " + ".join(parts) + "]"
+
+
+@dataclass(frozen=True)
+class Label:
+    """A symbolic branch target, resolved by the assembler."""
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"@{self.name}"
+
+
+Operand = Union[Reg, Imm, Mem, Label]
+
+
+# --- mnemonic tables -------------------------------------------------------
+
+#: Every VX mnemonic, in encoding order.  The position in this tuple is the
+#: opcode byte.
+MNEMONICS = (
+    # data movement
+    "mov", "movsx", "lea", "push", "pop", "xchg",
+    # integer arithmetic / logic
+    "add", "sub", "and", "or", "xor", "shl", "shr", "sar",
+    "imul", "idiv", "irem", "neg", "not", "inc", "dec",
+    "cmp", "test",
+    # control transfer
+    "jmp", "je", "jne", "jl", "jle", "jg", "jge",
+    "jb", "jbe", "ja", "jae", "js", "jns",
+    "call", "ret",
+    # atomics (combined with the lock prefix) and fences
+    "cmpxchg", "xadd", "mfence",
+    # 128-bit SIMD
+    "movdq", "paddd", "psubd", "pmulld", "pxor",
+    "pextrd", "pinsrd", "pbroadcastd",
+    # misc
+    "nop", "hlt", "ud2", "rdtls",
+)
+
+OPCODE_BY_MNEMONIC = {m: i for i, m in enumerate(MNEMONICS)}
+
+CONDITIONAL_JUMPS = (
+    "je", "jne", "jl", "jle", "jg", "jge",
+    "jb", "jbe", "ja", "jae", "js", "jns",
+)
+
+#: Direct forms of these mnemonics encode a rel32 displacement.
+BRANCHES = CONDITIONAL_JUMPS + ("jmp", "call")
+
+#: Mnemonics that may carry a lock prefix (atomic read-modify-write).
+LOCKABLE = ("add", "sub", "and", "or", "xor", "inc", "dec",
+            "xchg", "cmpxchg", "xadd")
+
+#: Mnemonics that terminate a basic block.
+TERMINATORS = BRANCHES + ("ret", "hlt", "ud2")
+
+SIMD_MNEMONICS = ("movdq", "paddd", "psubd", "pmulld", "pxor",
+                  "pextrd", "pinsrd", "pbroadcastd")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single decoded or to-be-assembled VX instruction."""
+
+    mnemonic: str
+    operands: Tuple[Operand, ...] = ()
+    lock: bool = False
+    width: int = 8
+    #: Filled by the decoder: address the instruction was decoded from.
+    address: Optional[int] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.mnemonic not in OPCODE_BY_MNEMONIC:
+            raise ValueError(f"unknown mnemonic {self.mnemonic!r}")
+        if self.width not in VALID_WIDTHS:
+            raise ValueError(f"invalid width {self.width}")
+        if self.lock and self.mnemonic not in LOCKABLE:
+            raise ValueError(f"{self.mnemonic} cannot take a lock prefix")
+
+    # -- classification helpers used across the code base -----------------
+
+    @property
+    def is_terminator(self) -> bool:
+        """True for instructions that end a basic block (jumps, ret, hlt, ud2)."""
+        return self.mnemonic in TERMINATORS
+
+    @property
+    def is_branch(self) -> bool:
+        """True for any jump, conditional or not."""
+        return self.mnemonic in BRANCHES
+
+    @property
+    def is_conditional(self) -> bool:
+        """True for the jCC family."""
+        return self.mnemonic in CONDITIONAL_JUMPS
+
+    @property
+    def is_call(self) -> bool:
+        """True for ``call`` (direct or through a register/memory)."""
+        return self.mnemonic == "call"
+
+    @property
+    def is_direct_branch(self) -> bool:
+        """True when the jump/call target is an immediate."""
+        return self.is_branch and self.operands and isinstance(
+            self.operands[0], (Imm, Label))
+
+    @property
+    def is_indirect_branch(self) -> bool:
+        """True for jumps/calls through a register or memory operand."""
+        return self.is_branch and not self.is_direct_branch
+
+    @property
+    def is_atomic(self) -> bool:
+        """True for instructions with hardware atomicity guarantees
+        (LOCK-prefixed, or XCHG with a memory operand — implicitly
+        locked, as on x86)."""
+        if self.lock:
+            return True
+        return self.mnemonic == "xchg" and any(
+            isinstance(op, Mem) for op in self.operands)
+
+    @property
+    def is_simd(self) -> bool:
+        """True for the 128-bit vector-lane mnemonics."""
+        return self.mnemonic in SIMD_MNEMONICS
+
+    @property
+    def reads_memory(self) -> bool:
+        """True if executing this instruction loads from memory."""
+        if self.mnemonic in ("pop", "ret"):
+            return True
+        if self.mnemonic == "lea":
+            return False
+        if self.mnemonic in ("cmpxchg", "xadd", "xchg"):
+            return any(isinstance(op, Mem) for op in self.operands)
+        if self.mnemonic == "mov" or self.mnemonic == "movsx":
+            return len(self.operands) == 2 and isinstance(self.operands[1], Mem)
+        if self.mnemonic == "movdq":
+            return len(self.operands) == 2 and isinstance(self.operands[1], Mem)
+        # read-modify-write forms read their memory destination too
+        return any(isinstance(op, Mem) for op in self.operands)
+
+    @property
+    def writes_memory(self) -> bool:
+        """True if executing this instruction stores to memory."""
+        if self.mnemonic in ("push", "call"):
+            return True
+        if self.mnemonic in ("cmp", "test", "lea", "pop", "ret"):
+            return False
+        if self.mnemonic in ("mov", "movdq"):
+            return isinstance(self.operands[0], Mem)
+        if self.mnemonic in ("jmp",) + CONDITIONAL_JUMPS:
+            return False
+        return any(isinstance(op, Mem) for op in self.operands[:1])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        prefix = "lock " if self.lock else ""
+        ops = ", ".join(repr(op) for op in self.operands)
+        suffix = f":{self.width}" if self.width != 8 else ""
+        return f"{prefix}{self.mnemonic}{suffix} {ops}".rstrip()
+
+
+def ins(mnemonic: str, *operands: Operand, lock: bool = False,
+        width: int = 8) -> Instruction:
+    """Shorthand constructor used throughout codegen and tests."""
+    return Instruction(mnemonic, tuple(operands), lock=lock, width=width)

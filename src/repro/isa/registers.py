@@ -1,0 +1,94 @@
+"""Register model for the VX ISA.
+
+VX is a compact x86-64-flavoured virtual ISA: sixteen 64-bit general
+purpose registers with the x86 naming scheme, a flags register with the
+four condition bits used by conditional branches, and eight 128-bit
+vector registers.  A dedicated read-only TLS base register models the
+x86 ``fs`` segment base used for thread-local storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GPR_NAMES = (
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+)
+
+VEC_NAMES = tuple(f"xmm{i}" for i in range(8))
+
+#: Bit offset applied to vector register indices in the binary encoding so
+#: that a single operand byte can name either register file.
+VEC_ENCODING_BASE = 32
+
+FLAG_NAMES = ("ZF", "SF", "CF", "OF")
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A named architectural register."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in _INDEX_BY_NAME:
+            raise ValueError(f"unknown register {self.name!r}")
+
+    @property
+    def index(self) -> int:
+        """Index within the register's own file (GPR or vector)."""
+        return _INDEX_BY_NAME[self.name]
+
+    @property
+    def is_vector(self) -> bool:
+        """True for the 128-bit v0-v15 lane registers."""
+        return self.name.startswith("xmm")
+
+    @property
+    def encoding(self) -> int:
+        """Operand-byte value used in the binary encoding."""
+        if self.is_vector:
+            return VEC_ENCODING_BASE + self.index
+        return self.index
+
+    @classmethod
+    def from_encoding(cls, value: int) -> "Reg":
+        """Decode a register from its byte encoding."""
+        if value >= VEC_ENCODING_BASE:
+            return cls(VEC_NAMES[value - VEC_ENCODING_BASE])
+        return cls(GPR_NAMES[value])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"%{self.name}"
+
+
+_INDEX_BY_NAME = {name: i for i, name in enumerate(GPR_NAMES)}
+_INDEX_BY_NAME.update({name: i for i, name in enumerate(VEC_NAMES)})
+
+# Canonical register singletons, for convenience in codegen and tests.
+RAX = Reg("rax")
+RCX = Reg("rcx")
+RDX = Reg("rdx")
+RBX = Reg("rbx")
+RSP = Reg("rsp")
+RBP = Reg("rbp")
+RSI = Reg("rsi")
+RDI = Reg("rdi")
+R8 = Reg("r8")
+R9 = Reg("r9")
+R10 = Reg("r10")
+R11 = Reg("r11")
+R12 = Reg("r12")
+R13 = Reg("r13")
+R14 = Reg("r14")
+R15 = Reg("r15")
+
+XMM = tuple(Reg(name) for name in VEC_NAMES)
+GPRS = tuple(Reg(name) for name in GPR_NAMES)
+
+#: System-V-flavoured calling convention used by MiniC and the recompiler.
+ARG_REGS = (RDI, RSI, RDX, RCX, R8, R9)
+RET_REG = RAX
+CALLEE_SAVED = (RBX, RBP, R12, R13, R14, R15)
+CALLER_SAVED = (RAX, RCX, RDX, RSI, RDI, R8, R9, R10, R11)

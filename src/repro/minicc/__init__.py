@@ -1,0 +1,50 @@
+"""MiniC: the C-subset compiler that produces VXE input binaries.
+
+MiniC exists so the reproduction has *realistic inputs*: programs with
+pthread/OpenMP threading, atomic builtins, jump tables, function
+pointers and genuinely different O0/O3 code shapes — the properties the
+paper's recompiler is evaluated against.
+"""
+
+from typing import Optional, Tuple
+
+from ..binfmt import Image
+from .ast import Program
+from .codegen import CodegenError, CodegenO0
+from .codegen_opt import CodegenO3
+from .lexer import LexError, tokenize
+from .parser import ParseError, parse
+from .sema import SemaError, SemaResult, analyze
+
+
+def compile_minic(source: str, opt_level: int = 0, strip: bool = True,
+                  vectorize: bool = True, name: str = "a.out") -> Image:
+    """Compile MiniC source to a VXE image.
+
+    ``opt_level`` 0 selects the stack-machine backend; 2/3 the
+    optimising backend (3 additionally auto-vectorises).  ``strip``
+    removes the symbol table, matching the stripped legacy binaries the
+    paper targets (the disassembler then has to discover functions).
+    """
+    program = parse(source)
+    sema = analyze(program)
+    if opt_level <= 0:
+        image = CodegenO0(sema).run()
+    else:
+        image = CodegenO3(sema, vectorize=vectorize and opt_level >= 3).run()
+        image.metadata["opt_level"] = str(opt_level)
+    image.metadata["name"] = name
+    # Keep entry/function-start knowledge out of the symbol table if
+    # stripped, but remember main for test convenience in metadata.
+    if strip:
+        stripped = image.stripped()
+        stripped.metadata.update(image.metadata)
+        return stripped
+    return image
+
+
+__all__ = [
+    "compile_minic", "parse", "analyze", "tokenize",
+    "CodegenO0", "CodegenO3", "CodegenError", "LexError", "ParseError",
+    "SemaError", "SemaResult", "Program",
+]

@@ -1,0 +1,253 @@
+"""AST node definitions for MiniC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# -- types -------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Type:
+    """A MiniC type: base kind plus pointer depth.
+
+    ``kind`` in {"int" (i64), "int32", "char", "void"}.  ``ptr`` counts
+    levels of indirection.  Arrays appear only in declarations; an array
+    expression decays to a pointer to its element type.
+    """
+
+    kind: str
+    ptr: int = 0
+
+    @property
+    def is_pointer(self) -> bool:
+        """True for pointer types."""
+        return self.ptr > 0
+
+    @property
+    def size(self) -> int:
+        """Byte size of one value of this type."""
+        if self.ptr > 0:
+            return 8
+        return {"int": 8, "int32": 4, "char": 1, "void": 0}[self.kind]
+
+    def element(self) -> "Type":
+        """The pointee type of a pointer."""
+        assert self.ptr > 0
+        return Type(self.kind, self.ptr - 1)
+
+    def pointer_to(self) -> "Type":
+        """The pointer type to this type."""
+        return Type(self.kind, self.ptr + 1)
+
+    def __repr__(self) -> str:
+        return self.kind + "*" * self.ptr
+
+
+INT = Type("int")
+INT32 = Type("int32")
+CHAR = Type("char")
+VOID = Type("void")
+
+
+# -- expressions ---------------------------------------------------------------
+
+@dataclass
+class Expr:
+    """Base class of every expression node."""
+    line: int = 0
+    #: Filled by sema.
+    type: Optional[Type] = None
+
+
+@dataclass
+class IntLit(Expr):
+    """An integer literal."""
+    value: int = 0
+
+
+@dataclass
+class StrLit(Expr):
+    """A string literal (placed in .rodata)."""
+    value: str = ""
+    #: .rodata address, filled by codegen.
+    address: Optional[int] = None
+
+
+@dataclass
+class Ident(Expr):
+    """A name referencing a local, global, parameter or function."""
+    name: str = ""
+    #: Filled by sema: ("local", slot) / ("global", symbol) /
+    #: ("param", index) / ("func", name)
+    binding: Optional[tuple] = None
+
+
+@dataclass
+class Unary(Expr):
+    """A prefix operator: - ! ~ * & ++ --."""
+    op: str = ""            # - ! ~ * & ++pre --pre
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    """An infix operator, including && and || with short-circuit."""
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Expr):
+    """Assignment expression ``target op= value`` (op may be '=')."""
+
+    op: str = "="
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    """A direct or function-pointer call."""
+    callee: Optional[Expr] = None
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    """Array subscripting ``base[index]``."""
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Ternary(Expr):
+    """``cond ? a : b``."""
+    cond: Optional[Expr] = None
+    if_true: Optional[Expr] = None
+    if_false: Optional[Expr] = None
+
+
+@dataclass
+class CastExpr(Expr):
+    """An explicit C cast ``(type)expr``."""
+    to: Optional[Type] = None
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class SizeofExpr(Expr):
+    """``sizeof(type)``."""
+    of: Optional[Type] = None
+
+
+# -- statements ------------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    """Base class of every statement node."""
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """An expression evaluated for its side effects."""
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class Decl(Stmt):
+    """Local variable declaration, possibly an array."""
+
+    type: Optional[Type] = None
+    name: str = ""
+    array_size: Optional[int] = None
+    init: Optional[Expr] = None
+
+
+@dataclass
+class IfStmt(Stmt):
+    """``if``/``else``."""
+    cond: Optional[Expr] = None
+    then: Optional["BlockStmt"] = None
+    otherwise: Optional["BlockStmt"] = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    """``while`` loop."""
+    cond: Optional[Expr] = None
+    body: Optional["BlockStmt"] = None
+    is_do_while: bool = False
+
+
+@dataclass
+class ForStmt(Stmt):
+    """``for`` loop with optional init/cond/step."""
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Optional["BlockStmt"] = None
+
+
+@dataclass
+class SwitchStmt(Stmt):
+    """``switch`` with constant cases and an optional default."""
+    value: Optional[Expr] = None
+    cases: List[Tuple[int, "BlockStmt"]] = field(default_factory=list)
+    default: Optional["BlockStmt"] = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    """``break`` out of the innermost loop or switch."""
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    """``continue`` to the innermost loop's step."""
+    pass
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    """``return`` with an optional value."""
+    value: Optional[Expr] = None
+
+
+@dataclass
+class BlockStmt(Stmt):
+    """A braced statement list opening a scope."""
+    body: List[Stmt] = field(default_factory=list)
+
+
+# -- top level ----------------------------------------------------------------------
+
+@dataclass
+class GlobalDecl:
+    """A file-scope variable, optionally initialised/array."""
+    type: Type
+    name: str
+    array_size: Optional[int] = None
+    init: Union[None, int, List[int]] = None
+    line: int = 0
+
+
+@dataclass
+class FuncDef:
+    """A function definition with parameters and a body."""
+    return_type: Type
+    name: str
+    params: List[Tuple[Type, str]]
+    body: BlockStmt
+    line: int = 0
+
+
+@dataclass
+class Program:
+    """A whole translation unit: globals plus functions."""
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FuncDef] = field(default_factory=list)

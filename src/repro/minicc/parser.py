@@ -1,0 +1,441 @@
+"""Recursive-descent parser for MiniC."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast import (Assign, Binary, BlockStmt, BreakStmt, Call, CastExpr,
+                  ContinueStmt, Decl, Expr, ExprStmt, ForStmt, FuncDef,
+                  GlobalDecl, Ident, IfStmt, Index, IntLit, Program,
+                  ReturnStmt, SizeofExpr, StrLit, SwitchStmt, Ternary, Type,
+                  Unary, WhileStmt)
+from .lexer import Token, tokenize
+
+TYPE_KEYWORDS = ("int", "int32", "char", "void")
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1, "&&": 2,
+    "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>=")
+
+
+class ParseError(Exception):
+    """Raised on syntax errors, with line/column context."""
+    pass
+
+
+class Parser:
+    """Recursive-descent parser producing the MiniC AST."""
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    @property
+    def tok(self) -> Token:
+        """The current (unconsumed) token."""
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        """Consume and return the current token."""
+        tok = self.tok
+        self.pos += 1
+        return tok
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        """True if the current token matches kind (and text)."""
+        tok = self.tok
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        """Consume the current token if it matches, else None."""
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        """Consume a required token or raise ParseError."""
+        if not self.check(kind, text):
+            raise ParseError(
+                f"line {self.tok.line}: expected {text or kind}, "
+                f"got {self.tok.text!r}")
+        return self.advance()
+
+    def _at_type(self) -> bool:
+        return self.tok.kind == "kw" and self.tok.text in TYPE_KEYWORDS
+
+    # -- top level ----------------------------------------------------------------
+
+    def parse(self) -> Program:
+        """Parse a whole translation unit."""
+        program = Program()
+        while not self.check("eof"):
+            base = self._parse_type()
+            ptr = 0
+            while self.accept("op", "*"):
+                ptr += 1
+            name = self.expect("ident").text
+            decl_type = Type(base.kind, ptr)
+            if self.check("op", "("):
+                program.functions.append(
+                    self._parse_function(decl_type, name))
+            else:
+                program.globals.extend(
+                    self._parse_global(decl_type, name))
+        return program
+
+    def _parse_type(self) -> Type:
+        tok = self.expect("kw")
+        if tok.text not in TYPE_KEYWORDS:
+            raise ParseError(f"line {tok.line}: expected type, got {tok.text}")
+        return Type(tok.text)
+
+    def _parse_global(self, decl_type: Type, name: str) -> List[GlobalDecl]:
+        decls = []
+        while True:
+            array_size = None
+            init = None
+            if self.accept("op", "["):
+                array_size = self._const_int()
+                self.expect("op", "]")
+            if self.accept("op", "="):
+                if self.accept("op", "{"):
+                    values = []
+                    while not self.check("op", "}"):
+                        values.append(self._const_int())
+                        if not self.accept("op", ","):
+                            break
+                    self.expect("op", "}")
+                    init = values
+                else:
+                    init = self._const_int()
+            decls.append(GlobalDecl(decl_type, name, array_size, init,
+                                    self.tok.line))
+            if not self.accept("op", ","):
+                break
+            ptr = 0
+            while self.accept("op", "*"):
+                ptr += 1
+            decl_type = Type(decl_type.kind, ptr)
+            name = self.expect("ident").text
+        self.expect("op", ";")
+        return decls
+
+    def _const_int(self) -> int:
+        negative = bool(self.accept("op", "-"))
+        tok = self.tok
+        if tok.kind in ("int", "char"):
+            self.advance()
+            return -tok.value if negative else tok.value
+        raise ParseError(f"line {tok.line}: expected constant")
+
+    def _parse_function(self, return_type: Type, name: str) -> FuncDef:
+        line = self.tok.line
+        self.expect("op", "(")
+        params: List[Tuple[Type, str]] = []
+        if not self.check("op", ")"):
+            if self.check("kw", "void") and \
+                    self.tokens[self.pos + 1].text == ")":
+                self.advance()
+            else:
+                while True:
+                    base = self._parse_type()
+                    ptr = 0
+                    while self.accept("op", "*"):
+                        ptr += 1
+                    pname = self.expect("ident").text
+                    params.append((Type(base.kind, ptr), pname))
+                    if not self.accept("op", ","):
+                        break
+        self.expect("op", ")")
+        body = self._parse_block()
+        return FuncDef(return_type, name, params, body, line)
+
+    # -- statements ------------------------------------------------------------------
+
+    def _parse_block(self) -> BlockStmt:
+        line = self.expect("op", "{").line
+        body: List = []
+        while not self.check("op", "}"):
+            body.append(self._parse_statement())
+        self.expect("op", "}")
+        return BlockStmt(line=line, body=body)
+
+    def _parse_statement(self):
+        tok = self.tok
+        if self.check("op", "{"):
+            return self._parse_block()
+        if self._at_type():
+            return self._parse_decl()
+        if self.check("kw", "if"):
+            return self._parse_if()
+        if self.check("kw", "while"):
+            return self._parse_while()
+        if self.check("kw", "do"):
+            return self._parse_do_while()
+        if self.check("kw", "for"):
+            return self._parse_for()
+        if self.check("kw", "switch"):
+            return self._parse_switch()
+        if self.accept("kw", "break"):
+            self.expect("op", ";")
+            return BreakStmt(line=tok.line)
+        if self.accept("kw", "continue"):
+            self.expect("op", ";")
+            return ContinueStmt(line=tok.line)
+        if self.accept("kw", "return"):
+            value = None
+            if not self.check("op", ";"):
+                value = self._parse_expr()
+            self.expect("op", ";")
+            return ReturnStmt(line=tok.line, value=value)
+        if self.accept("op", ";"):
+            return BlockStmt(line=tok.line, body=[])
+        expr = self._parse_expr()
+        self.expect("op", ";")
+        return ExprStmt(line=tok.line, expr=expr)
+
+    def _parse_decl(self) -> Decl:
+        line = self.tok.line
+        base = self._parse_type()
+        ptr = 0
+        while self.accept("op", "*"):
+            ptr += 1
+        name = self.expect("ident").text
+        array_size = None
+        if self.accept("op", "["):
+            array_size = self._const_int()
+            self.expect("op", "]")
+        init = None
+        if self.accept("op", "="):
+            init = self._parse_expr()
+        self.expect("op", ";")
+        return Decl(line=line, type=Type(base.kind, ptr), name=name,
+                    array_size=array_size, init=init)
+
+    def _parse_if(self) -> IfStmt:
+        line = self.expect("kw", "if").line
+        self.expect("op", "(")
+        cond = self._parse_expr()
+        self.expect("op", ")")
+        then = self._statement_as_block()
+        otherwise = None
+        if self.accept("kw", "else"):
+            otherwise = self._statement_as_block()
+        return IfStmt(line=line, cond=cond, then=then, otherwise=otherwise)
+
+    def _statement_as_block(self) -> BlockStmt:
+        stmt = self._parse_statement()
+        if isinstance(stmt, BlockStmt):
+            return stmt
+        return BlockStmt(line=stmt.line, body=[stmt])
+
+    def _parse_while(self) -> WhileStmt:
+        line = self.expect("kw", "while").line
+        self.expect("op", "(")
+        cond = self._parse_expr()
+        self.expect("op", ")")
+        body = self._statement_as_block()
+        return WhileStmt(line=line, cond=cond, body=body)
+
+    def _parse_do_while(self) -> WhileStmt:
+        line = self.expect("kw", "do").line
+        body = self._statement_as_block()
+        self.expect("kw", "while")
+        self.expect("op", "(")
+        cond = self._parse_expr()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return WhileStmt(line=line, cond=cond, body=body, is_do_while=True)
+
+    def _parse_for(self) -> ForStmt:
+        line = self.expect("kw", "for").line
+        self.expect("op", "(")
+        init = None
+        if not self.check("op", ";"):
+            if self._at_type():
+                init = self._parse_decl()
+            else:
+                expr = self._parse_expr()
+                self.expect("op", ";")
+                init = ExprStmt(line=line, expr=expr)
+        else:
+            self.advance()
+        cond = None
+        if not self.check("op", ";"):
+            cond = self._parse_expr()
+        self.expect("op", ";")
+        step = None
+        if not self.check("op", ")"):
+            step = self._parse_expr()
+        self.expect("op", ")")
+        body = self._statement_as_block()
+        return ForStmt(line=line, init=init, cond=cond, step=step, body=body)
+
+    def _parse_switch(self) -> SwitchStmt:
+        line = self.expect("kw", "switch").line
+        self.expect("op", "(")
+        value = self._parse_expr()
+        self.expect("op", ")")
+        self.expect("op", "{")
+        cases: List[Tuple[int, BlockStmt]] = []
+        default = None
+        while not self.check("op", "}"):
+            if self.accept("kw", "case"):
+                case_value = self._const_int()
+                self.expect("op", ":")
+                body = self._parse_case_body()
+                cases.append((case_value, body))
+            elif self.accept("kw", "default"):
+                self.expect("op", ":")
+                default = self._parse_case_body()
+            else:
+                raise ParseError(
+                    f"line {self.tok.line}: expected case/default")
+        self.expect("op", "}")
+        return SwitchStmt(line=line, value=value, cases=cases,
+                          default=default)
+
+    def _parse_case_body(self) -> BlockStmt:
+        """Statements until the next case/default/closing brace.
+
+        MiniC switch cases implicitly break (no fallthrough); an
+        explicit ``break;`` is accepted and ends the case.
+        """
+        line = self.tok.line
+        body: List = []
+        while not (self.check("kw", "case") or self.check("kw", "default")
+                   or self.check("op", "}")):
+            if self.check("kw", "break"):
+                self.advance()
+                self.expect("op", ";")
+                break
+            body.append(self._parse_statement())
+        return BlockStmt(line=line, body=body)
+
+    # -- expressions -------------------------------------------------------------------
+
+    def _parse_expr(self) -> Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> Expr:
+        left = self._parse_ternary()
+        if self.tok.kind == "op" and self.tok.text in _ASSIGN_OPS:
+            op = self.advance().text
+            value = self._parse_assignment()
+            return Assign(line=left.line, op=op, target=left, value=value)
+        return left
+
+    def _parse_ternary(self) -> Expr:
+        cond = self._parse_binary(1)
+        if self.accept("op", "?"):
+            if_true = self._parse_expr()
+            self.expect("op", ":")
+            if_false = self._parse_ternary()
+            return Ternary(line=cond.line, cond=cond, if_true=if_true,
+                           if_false=if_false)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> Expr:
+        left = self._parse_unary()
+        while self.tok.kind == "op" and \
+                _PRECEDENCE.get(self.tok.text, 0) >= min_prec:
+            op = self.advance().text
+            right = self._parse_binary(_PRECEDENCE[op] + 1)
+            left = Binary(line=left.line, op=op, left=left, right=right)
+        return left
+
+    def _parse_unary(self) -> Expr:
+        tok = self.tok
+        if tok.kind == "op" and tok.text in ("-", "!", "~", "*", "&"):
+            self.advance()
+            operand = self._parse_unary()
+            return Unary(line=tok.line, op=tok.text, operand=operand)
+        if tok.kind == "op" and tok.text in ("++", "--"):
+            self.advance()
+            operand = self._parse_unary()
+            # ++x desugars to (x += 1).
+            return Assign(line=tok.line,
+                          op="+=" if tok.text == "++" else "-=",
+                          target=operand, value=IntLit(line=tok.line, value=1))
+        if tok.kind == "op" and tok.text == "(":
+            # Cast or parenthesised expression.
+            if self.tokens[self.pos + 1].kind == "kw" and \
+                    self.tokens[self.pos + 1].text in TYPE_KEYWORDS:
+                self.advance()
+                base = self._parse_type()
+                ptr = 0
+                while self.accept("op", "*"):
+                    ptr += 1
+                self.expect("op", ")")
+                operand = self._parse_unary()
+                return CastExpr(line=tok.line, to=Type(base.kind, ptr),
+                                operand=operand)
+        if self.accept("kw", "sizeof"):
+            self.expect("op", "(")
+            base = self._parse_type()
+            ptr = 0
+            while self.accept("op", "*"):
+                ptr += 1
+            self.expect("op", ")")
+            return SizeofExpr(line=tok.line, of=Type(base.kind, ptr))
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while True:
+            if self.accept("op", "["):
+                index = self._parse_expr()
+                self.expect("op", "]")
+                expr = Index(line=expr.line, base=expr, index=index)
+            elif self.accept("op", "("):
+                args: List[Expr] = []
+                if not self.check("op", ")"):
+                    while True:
+                        args.append(self._parse_expr())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                expr = Call(line=expr.line, callee=expr, args=args)
+            elif self.tok.kind == "op" and self.tok.text in ("++", "--"):
+                # Postfix inc/dec is only supported as a statement-level
+                # expression; desugar to compound assignment.
+                op = self.advance().text
+                expr = Assign(line=expr.line,
+                              op="+=" if op == "++" else "-=",
+                              target=expr,
+                              value=IntLit(line=expr.line, value=1))
+            else:
+                return expr
+
+    def _parse_primary(self) -> Expr:
+        tok = self.tok
+        if tok.kind == "int" or tok.kind == "char":
+            self.advance()
+            return IntLit(line=tok.line, value=tok.value)
+        if tok.kind == "str":
+            self.advance()
+            return StrLit(line=tok.line, value=tok.text)
+        if tok.kind == "ident":
+            self.advance()
+            return Ident(line=tok.line, name=tok.text)
+        if self.accept("op", "("):
+            expr = self._parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise ParseError(f"line {tok.line}: unexpected token {tok.text!r}")
+
+
+def parse(source: str) -> Program:
+    """Convenience wrapper: source text -> Program AST."""
+    return Parser(source).parse()

@@ -1,0 +1,46 @@
+"""Optimisation and transformation passes over Poly IR."""
+
+from .constfold import ConstFold, eval_binop, eval_icmp
+from .dce import DCE
+from .inline import Inliner, clone_function_body, inline_call
+from .localopt import DSE, LoadElim, LocalCSE
+from .loops import LICM, LoopSimplify
+from .manager import Pass, PassManager
+from .mem2reg import Mem2Reg
+from .regpromote import RegPromote
+from .scalarpromo import ScalarPromotion
+from .simplifycfg import SimplifyCFG
+
+
+def standard_pipeline(verify: bool = False) -> PassManager:
+    """The O2-flavoured pipeline applied to lifted modules before
+    lowering.  Ordering mirrors a classic LLVM pipeline: promote state
+    to SSA first, then iterate scalar/memory/CFG clean-ups."""
+    return PassManager([
+        SimplifyCFG(),
+        RegPromote(),
+        Mem2Reg(),
+        ConstFold(),
+        LocalCSE(),
+        LoadElim(),
+        DSE(),
+        DCE(),
+        SimplifyCFG(),
+        LoopSimplify(),
+        LICM(),
+        ScalarPromotion(),
+        ConstFold(),
+        LocalCSE(),
+        LoadElim(),
+        DSE(),
+        DCE(),
+        SimplifyCFG(),
+    ], verify=verify, max_iterations=2)
+
+
+__all__ = [
+    "ConstFold", "eval_binop", "eval_icmp", "DCE", "Inliner",
+    "clone_function_body", "inline_call", "DSE", "LoadElim", "LocalCSE",
+    "LICM", "LoopSimplify", "Pass", "PassManager", "Mem2Reg", "RegPromote",
+    "ScalarPromotion", "SimplifyCFG", "standard_pipeline",
+]

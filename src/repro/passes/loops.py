@@ -1,0 +1,150 @@
+"""Loop passes: canonicalisation (preheaders, dedicated exits) and LICM.
+
+LoopSimplify is also a prerequisite of the spinloop detector (§3.4.2):
+"we perform the LLVM-provided loop simplification pass to restructure
+loops such that they have dedicated exit blocks", enabling precise
+analysis of their termination conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir import (AtomicRMW, BinOp, Block, Br, Call, Cast, Cmpxchg,
+                  CompilerBarrier, ConstantInt, Fence, Function, ICmp,
+                  Instruction, Load, Loop, Module, Phi, Select, Store,
+                  natural_loops, predecessors)
+from .manager import Pass
+
+
+class LoopSimplify(Pass):
+    """Give every natural loop a dedicated preheader and normal form."""
+    name = "loopsimplify"
+
+    def run_function(self, fn: Function, module: Module) -> bool:
+        """Insert preheaders where missing; returns True on change."""
+        changed = False
+        # Recompute loops after each structural change.
+        progress = True
+        while progress:
+            progress = False
+            preds = predecessors(fn)
+            for loop in natural_loops(fn):
+                if self._ensure_preheader(fn, loop, preds):
+                    progress = True
+                    changed = True
+                    break
+                if self._ensure_dedicated_exits(fn, loop, preds):
+                    progress = True
+                    changed = True
+                    break
+        return changed
+
+    def _ensure_preheader(self, fn: Function, loop: Loop,
+                          preds: Dict[Block, List[Block]]) -> bool:
+        header = loop.header
+        outside = [p for p in preds[header] if p not in loop.blocks]
+        if len(outside) == 1 and len(outside[0].successors()) == 1:
+            return False    # already has a dedicated preheader
+        if not outside:
+            return False    # unreachable loop; leave for simplifycfg
+        index = fn.blocks.index(header)
+        preheader = fn.add_block(f"{header.name}.preheader", index=index)
+        # Split header phis between outside and latch edges.
+        for phi in header.phis():
+            outside_pairs = [(v, b) for v, b in phi.incoming()
+                             if b in outside]
+            for _, b in outside_pairs:
+                phi.remove_incoming(b)
+            if len(outside_pairs) == 1:
+                merged = outside_pairs[0][0]
+            else:
+                pre_phi = Phi(phi.type, name=f"{phi.name}.pre")
+                for v, b in outside_pairs:
+                    pre_phi.add_incoming(v, b)
+                preheader.insert(0, pre_phi)
+                merged = pre_phi
+            phi.add_incoming(merged, preheader)
+        preheader.append(Br(header))
+        for pred in outside:
+            pred.terminator.replace_successor(header, preheader)
+        return True
+
+    def _ensure_dedicated_exits(self, fn: Function, loop: Loop,
+                                preds: Dict[Block, List[Block]]) -> bool:
+        for src, exit_block in loop.exit_edges():
+            outside_preds = [p for p in preds[exit_block]
+                             if p not in loop.blocks]
+            if not outside_preds:
+                continue
+            # Exit block also reachable from outside the loop: give the
+            # loop its own landing block.
+            index = fn.blocks.index(exit_block)
+            landing = fn.add_block(f"{exit_block.name}.loopexit", index=index)
+            landing.append(Br(exit_block))
+            inside_preds = [p for p in preds[exit_block]
+                            if p in loop.blocks]
+            for phi in exit_block.phis():
+                landing_phi = Phi(phi.type, name=f"{phi.name}.le")
+                for pred in inside_preds:
+                    value = phi.incoming_for(pred)
+                    landing_phi.add_incoming(value, pred)
+                    phi.remove_incoming(pred)
+                landing.insert(0, landing_phi)
+                phi.add_incoming(landing_phi, landing)
+            for pred in inside_preds:
+                pred.terminator.replace_successor(exit_block, landing)
+            return True
+        return False
+
+
+class LICM(Pass):
+    """Hoists loop-invariant pure computations into the preheader.
+
+    Loads are hoisted only when the loop body is entirely free of
+    stores, fences, atomics and calls — matching an optimiser that must
+    treat lifted memory opaquely.  Consequently fences pin loads inside
+    loops, and their removal unlocks this transformation.
+    """
+
+    name = "licm"
+
+    def run_function(self, fn: Function, module: Module) -> bool:
+        """Hoist loop-invariant pure instructions into the preheader."""
+        changed = False
+        preds = predecessors(fn)
+        for loop in natural_loops(fn):
+            outside = [p for p in preds[loop.header]
+                       if p not in loop.blocks]
+            if len(outside) != 1 or len(outside[0].successors()) != 1:
+                continue        # requires LoopSimplify first
+            preheader = outside[0]
+            has_barrier = any(
+                isinstance(i, (Store, Fence, CompilerBarrier, Call,
+                               Cmpxchg, AtomicRMW))
+                for block in loop.blocks for i in block.instructions)
+
+            def defined_in_loop(value) -> bool:
+                return (isinstance(value, Instruction)
+                        and value.parent in loop.blocks)
+
+            hoisted = True
+            while hoisted:
+                hoisted = False
+                for block in list(loop.blocks):
+                    for instr in list(block.instructions):
+                        if isinstance(instr, (BinOp, ICmp, Cast, Select)):
+                            movable = not any(defined_in_loop(op)
+                                              for op in instr.operands)
+                        elif isinstance(instr, Load) and not has_barrier \
+                                and instr.ordering is None:
+                            movable = not defined_in_loop(instr.addr)
+                        else:
+                            continue
+                        if movable:
+                            block.remove(instr)
+                            preheader.insert(
+                                len(preheader.instructions) - 1, instr)
+                            hoisted = True
+                            changed = True
+        return changed

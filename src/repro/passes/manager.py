@@ -1,0 +1,60 @@
+"""Pass manager for Poly IR transformations."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..ir import Function, Module, verify_module
+
+
+class Pass:
+    """Base class; subclasses implement run_function or run_module."""
+
+    name = "pass"
+
+    def run_module(self, module: Module) -> bool:
+        """Run the pass over a module (default: per function)."""
+        changed = False
+        for fn in module.functions:
+            if fn.blocks:
+                changed |= self.run_function(fn, module)
+        return changed
+
+    def run_function(self, fn: Function, module: Module) -> bool:
+        """Run the pass over one function; override in subclasses."""
+        raise NotImplementedError
+
+
+class PassManager:
+    """Runs a pipeline of passes, optionally verifying after each."""
+
+    def __init__(self, passes: Sequence[Pass] = (), verify: bool = False,
+                 max_iterations: int = 1) -> None:
+        self.passes: List[Pass] = list(passes)
+        self.verify = verify
+        self.max_iterations = max_iterations
+
+    def add(self, pass_: Pass) -> "PassManager":
+        """Append a pass; returns self for chaining."""
+        self.passes.append(pass_)
+        return self
+
+    def run(self, module: Module) -> bool:
+        """Run all passes in order, iterating until stable or the cap."""
+        changed_any = False
+        for _ in range(self.max_iterations):
+            changed = False
+            for pass_ in self.passes:
+                if pass_.run_module(module):
+                    changed = True
+                    if self.verify:
+                        try:
+                            verify_module(module)
+                        except Exception as exc:
+                            raise RuntimeError(
+                                f"IR broken after pass {pass_.name}: {exc}"
+                            ) from exc
+            changed_any |= changed
+            if not changed:
+                break
+        return changed_any

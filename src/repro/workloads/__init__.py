@@ -1,0 +1,36 @@
+"""Benchmark workload registry: every binary the paper evaluates on."""
+
+from typing import Dict, List
+
+from .base import InputSpec, Workload, lcg_bytes
+from .ckit import CKIT_NAMES, CKIT_WORKLOADS
+from .gapbs import GAPBS_WORKLOADS, GAPBS_WORKLOADS_32
+from .phoenix import PHOENIX_WORKLOADS
+from .realworld import (REALWORLD_WORKLOADS, ftp_benign_script,
+                        ftp_exploit_script)
+from .spec import SPEC_WORKLOADS
+
+ALL_WORKLOADS: List[Workload] = (
+    PHOENIX_WORKLOADS + GAPBS_WORKLOADS + GAPBS_WORKLOADS_32
+    + CKIT_WORKLOADS + REALWORLD_WORKLOADS + SPEC_WORKLOADS)
+
+WORKLOADS: Dict[str, Workload] = {wl.name: wl for wl in ALL_WORKLOADS}
+
+
+def by_group(group: str) -> List[Workload]:
+    """All workloads in a suite: phoenix / gapbs / ckit / realworld / spec."""
+    return [wl for wl in ALL_WORKLOADS if wl.group == group]
+
+
+def get(name: str) -> Workload:
+    """Look a workload up by name; raises KeyError if unknown."""
+    return WORKLOADS[name]
+
+
+__all__ = [
+    "ALL_WORKLOADS", "WORKLOADS", "by_group", "get",
+    "InputSpec", "Workload", "lcg_bytes",
+    "CKIT_NAMES", "CKIT_WORKLOADS", "GAPBS_WORKLOADS",
+    "GAPBS_WORKLOADS_32", "PHOENIX_WORKLOADS", "REALWORLD_WORKLOADS",
+    "SPEC_WORKLOADS", "ftp_benign_script", "ftp_exploit_script",
+]

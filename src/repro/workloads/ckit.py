@@ -1,0 +1,290 @@
+"""ConcurrencyKit-style spinlock implementations in MiniC.
+
+Eleven lock algorithms built from compiler builtins that lower to
+hardware atomic instructions (LOCK XADD/CMPXCHG/XCHG), mirroring CK's
+C99 implementations.  Each workload supports two modes:
+
+* ``mode 0`` — the validation test: N threads each perform M
+  lock-protected increments; the output checks ``counter == N*M``
+  (this is what exposes broken atomic translation in baselines);
+* ``mode 1`` — the latency test from CK's regression suite: a single
+  thread measures cycles per lock/unlock pair (Table 5).
+
+Every lock body is an *implicit synchronisation primitive*: the §3.4
+spinloop detector must classify these loops as spinning (the paper's
+true negatives), keeping fences in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import InputSpec, Workload
+
+_HARNESS = r'''
+int counter;
+int iters;
+int nthreads;
+
+int lk_worker(int *argp) {
+  int tid = (int)argp;
+  int i;
+  for (i = 0; i < iters; i += 1) {
+    lk(tid);
+    counter += 1;
+    unlk(tid);
+  }
+  return 0;
+}
+
+int main() {
+  int mode = getparam(0);
+  nthreads = getparam(1);
+  iters = getparam(2);
+  lock_init();
+  if (mode == 0) {
+    int tids[8];
+    int t;
+    for (t = 0; t < nthreads; t += 1) {
+      pthread_create(&tids[t], 0, lk_worker, (int*)t);
+    }
+    for (t = 0; t < nthreads; t += 1) {
+      pthread_join(tids[t], 0);
+    }
+    printf("validate counter=%d expected=%d\n",
+           counter, nthreads * iters);
+  } else {
+    int i;
+    int t0 = thread_cycles();
+    for (i = 0; i < iters; i += 1) {
+      lk(0);
+      unlk(0);
+    }
+    int t1 = thread_cycles();
+    printf("latency cycles_per_op=%d\n", (t1 - t0) / iters);
+  }
+  return 0;
+}
+'''
+
+_LOCKS: Dict[str, str] = {}
+
+_LOCKS["ck_cas"] = r'''
+int the_lock;
+void lock_init() { the_lock = 0; }
+void lk(int tid) {
+  while (__sync_bool_compare_and_swap(&the_lock, 0, 1) == 0) {
+    while (__atomic_load_n(&the_lock) != 0) { }
+  }
+}
+void unlk(int tid) { __sync_lock_release(&the_lock); }
+'''
+
+_LOCKS["ck_fas"] = r'''
+int the_lock;
+void lock_init() { the_lock = 0; }
+void lk(int tid) {
+  while (__sync_lock_test_and_set(&the_lock, 1) != 0) { }
+}
+void unlk(int tid) { __sync_lock_release(&the_lock); }
+'''
+
+_LOCKS["ck_dec"] = r'''
+int the_lock;
+void lock_init() { the_lock = 1; }
+void lk(int tid) {
+  while (1) {
+    if (__sync_sub_and_fetch(&the_lock, 1) == 0) {
+      return;
+    }
+    while (__atomic_load_n(&the_lock) != 1) { }
+  }
+}
+void unlk(int tid) { __atomic_store_n(&the_lock, 1); }
+'''
+
+_LOCKS["ck_spinlock"] = _LOCKS["ck_cas"]
+
+_LOCKS["ck_ticket"] = r'''
+int next_ticket;
+int now_serving;
+void lock_init() { next_ticket = 0; now_serving = 0; }
+void lk(int tid) {
+  int mine = __sync_fetch_and_add(&next_ticket, 1);
+  while (__atomic_load_n(&now_serving) != mine) { }
+}
+void unlk(int tid) {
+  __atomic_store_n(&now_serving, now_serving + 1);
+}
+'''
+
+_LOCKS["ck_ticket_pb"] = r'''
+int next_ticket;
+int now_serving;
+void lock_init() { next_ticket = 0; now_serving = 0; }
+void lk(int tid) {
+  int mine = __sync_fetch_and_add(&next_ticket, 1);
+  while (1) {
+    int cur = __atomic_load_n(&now_serving);
+    if (cur == mine) {
+      return;
+    }
+    // Proportional backoff: wait longer the further back in line.
+    int spin = (mine - cur) * 4;
+    int i;
+    for (i = 0; i < spin; i += 1) { }
+  }
+}
+void unlk(int tid) {
+  __atomic_store_n(&now_serving, now_serving + 1);
+}
+'''
+
+_LOCKS["ck_anderson"] = r'''
+int flags[16];
+int tail;
+int myslot[8];
+void lock_init() {
+  int i;
+  for (i = 0; i < 16; i += 1) { flags[i] = 0; }
+  flags[0] = 1;
+  tail = 0;
+}
+void lk(int tid) {
+  int slot = __sync_fetch_and_add(&tail, 1) % 16;
+  if (slot < 0) { slot += 16; }
+  myslot[tid] = slot;
+  while (__atomic_load_n(&flags[slot]) == 0) { }
+  __atomic_store_n(&flags[slot], 0);
+}
+void unlk(int tid) {
+  int nxt = (myslot[tid] + 1) % 16;
+  __atomic_store_n(&flags[nxt], 1);
+}
+'''
+
+_LOCKS["ck_clh"] = r'''
+int nodes[32];       // queue node flags (1 = predecessor busy)
+int tail;            // index of the most recent node
+int mynode[8];
+int mypred[8];
+void lock_init() {
+  nodes[16] = 0;     // initial dummy node, unlocked
+  tail = 16;
+  int t;
+  for (t = 0; t < 8; t += 1) { mynode[t] = t; }
+}
+void lk(int tid) {
+  int me = mynode[tid];
+  nodes[me] = 1;
+  int pred = __sync_lock_test_and_set(&tail, me);
+  mypred[tid] = pred;
+  while (__atomic_load_n(&nodes[pred]) != 0) { }
+}
+void unlk(int tid) {
+  int me = mynode[tid];
+  __atomic_store_n(&nodes[me], 0);
+  mynode[tid] = mypred[tid];   // recycle the predecessor's node
+}
+'''
+
+_LOCKS["ck_hclh"] = r'''
+// Hierarchical CLH: a cluster-local queue feeding a global queue.
+int cnodes[32];
+int ctail[2];        // per-cluster tails
+int gnodes[32];
+int gtail;
+int my_cnode[8];
+int my_cpred[8];
+int my_gnode[8];
+int my_gpred[8];
+void lock_init() {
+  cnodes[16] = 0; cnodes[17] = 0;
+  ctail[0] = 16; ctail[1] = 17;
+  gnodes[16] = 0;
+  gtail = 16;
+  int t;
+  for (t = 0; t < 8; t += 1) { my_cnode[t] = t; my_gnode[t] = t; }
+}
+void lk(int tid) {
+  int cluster = tid & 1;
+  int cme = my_cnode[tid];
+  cnodes[cme] = 1;
+  int cpred = __sync_lock_test_and_set(&ctail[cluster], cme);
+  my_cpred[tid] = cpred;
+  while (__atomic_load_n(&cnodes[cpred]) != 0) { }
+  int gme = my_gnode[tid];
+  gnodes[gme] = 1;
+  int gpred = __sync_lock_test_and_set(&gtail, gme);
+  my_gpred[tid] = gpred;
+  while (__atomic_load_n(&gnodes[gpred]) != 0) { }
+}
+void unlk(int tid) {
+  int gme = my_gnode[tid];
+  __atomic_store_n(&gnodes[gme], 0);
+  my_gnode[tid] = my_gpred[tid];
+  int cme = my_cnode[tid];
+  __atomic_store_n(&cnodes[cme], 0);
+  my_cnode[tid] = my_cpred[tid];
+}
+'''
+
+_LOCKS["ck_mcs"] = r'''
+int mcs_next[9];     // successor index + 1 (0 = none); slot 8 unused
+int mcs_locked[9];
+int mcs_tail;        // holder index + 1 (0 = free)
+void lock_init() {
+  mcs_tail = 0;
+  int t;
+  for (t = 0; t < 9; t += 1) { mcs_next[t] = 0; mcs_locked[t] = 0; }
+}
+void lk(int tid) {
+  mcs_next[tid] = 0;
+  int pred = __sync_lock_test_and_set(&mcs_tail, tid + 1);
+  if (pred != 0) {
+    mcs_locked[tid] = 1;
+    __atomic_store_n(&mcs_next[pred - 1], tid + 1);
+    while (__atomic_load_n(&mcs_locked[tid]) != 0) { }
+  }
+}
+void unlk(int tid) {
+  if (__atomic_load_n(&mcs_next[tid]) == 0) {
+    if (__sync_bool_compare_and_swap(&mcs_tail, tid + 1, 0)) {
+      return;
+    }
+    while (__atomic_load_n(&mcs_next[tid]) == 0) { }
+  }
+  __atomic_store_n(&mcs_locked[mcs_next[tid] - 1], 0);
+}
+'''
+
+_LOCKS["linux_spinlock"] = r'''
+int the_lock;
+void lock_init() { the_lock = 1; }
+void lk(int tid) {
+  while (__sync_sub_and_fetch(&the_lock, 1) != 0) {
+    while (__atomic_load_n(&the_lock) != 1) { }
+  }
+}
+void unlk(int tid) { __atomic_store_n(&the_lock, 1); }
+'''
+
+CKIT_NAMES = ("ck_anderson", "ck_cas", "ck_clh", "ck_dec", "ck_fas",
+              "ck_hclh", "ck_mcs", "ck_spinlock", "ck_ticket",
+              "ck_ticket_pb", "linux_spinlock")
+
+
+def _make(name: str) -> Workload:
+    source = _LOCKS[name] + _HARNESS
+    return Workload(
+        name, "ckit", source,
+        inputs={
+            # (mode, nthreads, iters)
+            "small": lambda: InputSpec(params=(0, 4, 25)),
+            "medium": lambda: InputSpec(params=(0, 4, 60)),
+            "large": lambda: InputSpec(params=(0, 8, 100)),
+            "latency": lambda: InputSpec(params=(1, 1, 40)),
+        })
+
+
+CKIT_WORKLOADS: List[Workload] = [_make(name) for name in CKIT_NAMES]

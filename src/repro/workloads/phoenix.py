@@ -1,0 +1,586 @@
+"""The Phoenix benchmark suite (Ranger et al.), reimplemented in MiniC.
+
+Seven map-reduce style kernels using pthreads exclusively for threading
+and synchronisation — the property the paper's fence optimisation
+exploits (§3.4: "all programs in the Phoenix benchmark suite exhibit
+this property").  Floating-point kernels use fixed-point arithmetic
+(integer ISA; see DESIGN.md).
+
+Two deliberate constructions mirror §4.3's analysis cases:
+
+* ``histogram`` contains a byte-order swap loop that never executes on
+  this (little-endian) architecture — the coverage false-negative;
+* ``pca`` distributes rows through a mutex-protected shared counter
+  whose value feeds a loop exit — the false negative that needs a
+  happens-before analysis to resolve, so fences stay in.
+"""
+
+from __future__ import annotations
+
+from .base import InputSpec, Workload
+
+_COMMON = r'''
+int n;
+int nthreads;
+int rng_state;
+
+int next_rand() {
+  rng_state = rng_state * 1103515245 + 12345;
+  return (rng_state >> 16) & 32767;
+}
+'''
+
+HISTOGRAM = _COMMON + r'''
+int32 data[4096];
+int hist[256];
+int local_hist[2048];    // 8 threads x 256 buckets
+int merge_mutex;
+
+void gen_data() {
+  int i;
+  for (i = 0; i < n; i += 1) {
+    data[i] = next_rand() & 255;
+  }
+}
+
+int hist_worker(int *argp) {
+  int tid = (int)argp;
+  int lo = n * tid / nthreads;
+  int hi = n * (tid + 1) / nthreads;
+  int i;
+  for (i = lo; i < hi; i += 1) {
+    local_hist[tid * 256 + data[i]] += 1;
+  }
+  pthread_mutex_lock(&merge_mutex);
+  for (i = 0; i < 256; i += 1) {
+    hist[i] += local_hist[tid * 256 + i];
+  }
+  pthread_mutex_unlock(&merge_mutex);
+  return 0;
+}
+
+int main() {
+  n = getparam(0);
+  nthreads = getparam(1);
+  rng_state = 7;
+  pthread_mutex_init(&merge_mutex, 0);
+  gen_data();
+  // Runtime byte-order probe (always little-endian on VX, but not
+  // statically foldable -- like the real histogram's endianness check).
+  int probe[1];
+  probe[0] = 1;
+  char *probe_bytes = (char*)probe;
+  int big_endian = probe_bytes[0] == 0;
+  if (big_endian) {
+    // Byte-order swap: never executed on this architecture, so no
+    // dynamic run covers it (the paper's histogram coverage gap).
+    int j;
+    for (j = 0; j < n; j += 1) {
+      int v = data[j];
+      data[j] = ((v & 255) << 8) | ((v >> 8) & 255);
+    }
+  }
+  int tids[8];
+  int t;
+  for (t = 0; t < nthreads; t += 1) {
+    pthread_create(&tids[t], 0, hist_worker, (int*)t);
+  }
+  for (t = 0; t < nthreads; t += 1) {
+    pthread_join(tids[t], 0);
+  }
+  int checksum = 0;
+  int i;
+  for (i = 0; i < 256; i += 1) {
+    checksum += hist[i] * (i + 1);
+  }
+  printf("histogram n=%d checksum=%d\n", n, checksum);
+  return 0;
+}
+'''
+
+KMEANS = _COMMON + r'''
+int32 px[1024];
+int32 py[1024];
+int assign_to[1024];
+int cx[4];
+int cy[4];
+int sumx[32];      // 8 threads x 4 clusters
+int sumy[32];
+int cnt[32];
+int merge_mutex;
+
+void gen_points() {
+  int i;
+  for (i = 0; i < n; i += 1) {
+    px[i] = next_rand() & 1023;
+    py[i] = next_rand() & 1023;
+  }
+}
+
+int assign_worker(int *argp) {
+  int tid = (int)argp;
+  int lo = n * tid / nthreads;
+  int hi = n * (tid + 1) / nthreads;
+  int i;
+  for (i = lo; i < hi; i += 1) {
+    int best = 0;
+    int bestd = 1 << 30;
+    int c;
+    for (c = 0; c < 4; c += 1) {
+      int dx = px[i] - cx[c];
+      int dy = py[i] - cy[c];
+      int d = dx * dx + dy * dy;
+      if (d < bestd) { bestd = d; best = c; }
+    }
+    assign_to[i] = best;
+    sumx[tid * 4 + best] += px[i];
+    sumy[tid * 4 + best] += py[i];
+    cnt[tid * 4 + best] += 1;
+  }
+  return 0;
+}
+
+int main() {
+  n = getparam(0);
+  nthreads = getparam(1);
+  int nt = nthreads;         // main's loop bounds stay thread-local
+  int iters = getparam(2);
+  rng_state = 11;
+  pthread_mutex_init(&merge_mutex, 0);
+  gen_points();
+  int c;
+  for (c = 0; c < 4; c += 1) { cx[c] = c * 256; cy[c] = c * 256; }
+  int it;
+  for (it = 0; it < iters; it += 1) {
+    int i;
+    for (i = 0; i < 32; i += 1) { sumx[i] = 0; sumy[i] = 0; cnt[i] = 0; }
+    int tids[8];
+    int t;
+    for (t = 0; t < nt; t += 1) {
+      pthread_create(&tids[t], 0, assign_worker, (int*)t);
+    }
+    for (t = 0; t < nt; t += 1) {
+      pthread_join(tids[t], 0);
+    }
+    for (c = 0; c < 4; c += 1) {
+      int sx = 0; int sy = 0; int k = 0;
+      for (t = 0; t < nt; t += 1) {
+        sx += sumx[t * 4 + c];
+        sy += sumy[t * 4 + c];
+        k += cnt[t * 4 + c];
+      }
+      if (k > 0) { cx[c] = sx / k; cy[c] = sy / k; }
+    }
+  }
+  printf("kmeans c0=(%d,%d) c1=(%d,%d)", cx[0], cy[0], cx[1], cy[1]);
+  printf(" c2=(%d,%d) c3=(%d,%d)\n", cx[2], cy[2], cx[3], cy[3]);
+  return 0;
+}
+'''
+
+LINEAR_REGRESSION = _COMMON + r'''
+int32 xs[2048];
+int32 ys[2048];
+int part_sx[8];
+int part_sy[8];
+int part_sxx[8];
+int part_sxy[8];
+
+void gen_points() {
+  int i;
+  for (i = 0; i < n; i += 1) {
+    int x = next_rand() & 255;
+    xs[i] = x;
+    ys[i] = 3 * x + 7 + (next_rand() & 15);
+  }
+}
+
+int lr_worker(int *argp) {
+  int tid = (int)argp;
+  int lo = n * tid / nthreads;
+  int hi = n * (tid + 1) / nthreads;
+  int sx = 0;
+  int sy = 0;
+  int sxx = 0;
+  int sxy = 0;
+  int i;
+  // The core kernel: reductions over int32 arrays, auto-vectorised
+  // to packed SIMD at O3 (the paper's linear_regression slowdown
+  // comes from the lifter scalarising exactly this code).  Several
+  // passes keep the packed kernel dominant over setup cost.
+  int pass;
+  for (pass = 0; pass < 4; pass += 1) {
+    sx = 0; sy = 0; sxx = 0; sxy = 0;
+    for (i = lo; i < hi; i += 1) { sx += xs[i]; }
+    for (i = lo; i < hi; i += 1) { sy += ys[i]; }
+    for (i = lo; i < hi; i += 1) { sxx += xs[i] * xs[i]; }
+    for (i = lo; i < hi; i += 1) { sxy += xs[i] * ys[i]; }
+  }
+  part_sx[tid] = sx;
+  part_sy[tid] = sy;
+  part_sxx[tid] = sxx;
+  part_sxy[tid] = sxy;
+  return 0;
+}
+
+int main() {
+  n = getparam(0);
+  nthreads = getparam(1);
+  rng_state = 13;
+  gen_points();
+  int tids[8];
+  int t;
+  for (t = 0; t < nthreads; t += 1) {
+    pthread_create(&tids[t], 0, lr_worker, (int*)t);
+  }
+  for (t = 0; t < nthreads; t += 1) {
+    pthread_join(tids[t], 0);
+  }
+  int sx = 0; int sy = 0; int sxx = 0; int sxy = 0;
+  for (t = 0; t < nthreads; t += 1) {
+    sx += part_sx[t];
+    sy += part_sy[t];
+    sxx += part_sxx[t];
+    sxy += part_sxy[t];
+  }
+  // Fixed-point slope/intercept (scaled by 1000).
+  int denom = n * sxx - sx * sx;
+  int slope1000 = 0;
+  int icept1000 = 0;
+  if (denom != 0) {
+    slope1000 = (n * sxy - sx * sy) * 1000 / denom;
+    icept1000 = (sy * 1000 - slope1000 * sx) / n;
+  }
+  printf("linear_regression slope=%d icept=%d\n", slope1000, icept1000);
+  return 0;
+}
+'''
+
+MATRIX_MULTIPLY = _COMMON + r'''
+int32 ma[1024];     // 32x32 max
+int32 mb[1024];
+int32 mc[1024];
+int dim;
+
+void gen_matrices() {
+  int i;
+  for (i = 0; i < dim * dim; i += 1) {
+    ma[i] = next_rand() & 15;
+    mb[i] = next_rand() & 15;
+  }
+}
+
+int mm_worker(int *argp) {
+  int tid = (int)argp;
+  int lo = dim * tid / nthreads;
+  int hi = dim * (tid + 1) / nthreads;
+  int i;
+  for (i = lo; i < hi; i += 1) {
+    int j;
+    for (j = 0; j < dim; j += 1) {
+      int acc = 0;
+      int k;
+      for (k = 0; k < dim; k += 1) {
+        acc += ma[i * dim + k] * mb[k * dim + j];
+      }
+      mc[i * dim + j] = acc;
+    }
+  }
+  return 0;
+}
+
+int main() {
+  dim = getparam(0);
+  nthreads = getparam(1);
+  rng_state = 17;
+  gen_matrices();
+  int tids[8];
+  int t;
+  for (t = 0; t < nthreads; t += 1) {
+    pthread_create(&tids[t], 0, mm_worker, (int*)t);
+  }
+  for (t = 0; t < nthreads; t += 1) {
+    pthread_join(tids[t], 0);
+  }
+  int checksum = 0;
+  int i;
+  for (i = 0; i < dim * dim; i += 1) {
+    checksum += mc[i];
+  }
+  printf("matrix_multiply dim=%d checksum=%d\n", dim, checksum);
+  return 0;
+}
+'''
+
+PCA = _COMMON + r'''
+int32 mat[2048];     // rows x cols, 32x32 max
+int mean[32];
+int32 cov[1024];
+int rows;
+int cols;
+int next_row;
+int work_lock;
+
+void gen_matrix() {
+  int i;
+  for (i = 0; i < rows * cols; i += 1) {
+    mat[i] = next_rand() & 63;
+  }
+}
+
+int mean_worker(int *argp) {
+  int tid = (int)argp;
+  int lo = cols * tid / nthreads;
+  int hi = cols * (tid + 1) / nthreads;
+  int c;
+  for (c = lo; c < hi; c += 1) {
+    int s = 0;
+    int r;
+    for (r = 0; r < rows; r += 1) {
+      s += mat[r * cols + c];
+    }
+    mean[c] = s / rows;
+  }
+  return 0;
+}
+
+int cov_worker(int *argp) {
+  while (1) {
+    pthread_mutex_lock(&work_lock);
+    int row = next_row;
+    next_row += 1;
+    pthread_mutex_unlock(&work_lock);
+    // The loop exit depends on a value read from shared memory
+    // (next_row).  Proving this loop non-spinning needs a
+    // happens-before analysis of the mutex, which the detector does
+    // not build -- the paper's pca false negative (fences stay).
+    if (row >= cols) {
+      break;
+    }
+    int c;
+    for (c = 0; c < cols; c += 1) {
+      int s = 0;
+      int r;
+      for (r = 0; r < rows; r += 1) {
+        s += (mat[r * cols + row] - mean[row])
+           * (mat[r * cols + c] - mean[c]);
+      }
+      cov[row * cols + c] = s / (rows - 1);
+    }
+  }
+  return 0;
+}
+
+int main() {
+  rows = getparam(0);
+  cols = getparam(1);
+  nthreads = getparam(2);
+  rng_state = 19;
+  pthread_mutex_init(&work_lock, 0);
+  gen_matrix();
+  int tids[8];
+  int t;
+  for (t = 0; t < nthreads; t += 1) {
+    pthread_create(&tids[t], 0, mean_worker, (int*)t);
+  }
+  for (t = 0; t < nthreads; t += 1) {
+    pthread_join(tids[t], 0);
+  }
+  next_row = 0;
+  for (t = 0; t < nthreads; t += 1) {
+    pthread_create(&tids[t], 0, cov_worker, (int*)t);
+  }
+  for (t = 0; t < nthreads; t += 1) {
+    pthread_join(tids[t], 0);
+  }
+  int trace = 0;
+  int c;
+  for (c = 0; c < cols; c += 1) {
+    trace += cov[c * cols + c];
+  }
+  printf("pca trace=%d mean0=%d\n", trace, mean[0]);
+  return 0;
+}
+'''
+
+STRING_MATCH = _COMMON + r'''
+char text[4096];
+char key1[8];
+char key2[8];
+int part_hits[8];
+
+void gen_text() {
+  int i;
+  for (i = 0; i < n; i += 1) {
+    text[i] = 97 + (next_rand() % 4);   // a-d soup
+  }
+  text[n] = 0;
+  key1[0] = 'a'; key1[1] = 'b'; key1[2] = 'c'; key1[3] = 0;
+  key2[0] = 'd'; key2[1] = 'a'; key2[2] = 'd'; key2[3] = 0;
+}
+
+int match_at(char *key, int pos) {
+  int k;
+  for (k = 0; k < 3; k += 1) {      // fixed-length keys
+    if (text[pos + k] != key[k]) {
+      return 0;
+    }
+  }
+  return 1;
+}
+
+int sm_worker(int *argp) {
+  int tid = (int)argp;
+  int lo = n * tid / nthreads;
+  int hi = n * (tid + 1) / nthreads;
+  int hits = 0;
+  int i;
+  for (i = lo; i < hi; i += 1) {
+    if (i + 4 < n) {
+      hits += match_at(key1, i);
+      hits += match_at(key2, i);
+    }
+  }
+  part_hits[tid] = hits;
+  return 0;
+}
+
+int main() {
+  n = getparam(0);
+  nthreads = getparam(1);
+  rng_state = 23;
+  gen_text();
+  int tids[8];
+  int t;
+  for (t = 0; t < nthreads; t += 1) {
+    pthread_create(&tids[t], 0, sm_worker, (int*)t);
+  }
+  for (t = 0; t < nthreads; t += 1) {
+    pthread_join(tids[t], 0);
+  }
+  int hits = 0;
+  for (t = 0; t < nthreads; t += 1) {
+    hits += part_hits[t];
+  }
+  printf("string_match n=%d hits=%d\n", n, hits);
+  return 0;
+}
+'''
+
+WORD_COUNT = _COMMON + r'''
+int words[1024];      // packed words (max 8 chars in an int)
+int table_keys[512];
+int table_counts[512];
+int table_mutex;
+int pairs[1024];      // (count, key) pairs for sorting
+
+void gen_words() {
+  // Local LCG: generation depends on no shared state (the original
+  // reads its words from the input file).
+  int s = 29;
+  int dict[16];
+  int i;
+  for (i = 0; i < 16; i += 1) {
+    s = s * 1103515245 + 12345;
+    int len = 2 + (((s >> 16) & 32767) % 4);
+    int w = 0;
+    int j;
+    for (j = 0; j < len; j += 1) {
+      s = s * 1103515245 + 12345;
+      w = (w << 8) | (97 + (((s >> 16) & 32767) % 6));
+    }
+    dict[i] = w;
+  }
+  for (i = 0; i < n; i += 1) {
+    s = s * 1103515245 + 12345;
+    words[i] = dict[((s >> 16) & 32767) % 16];
+  }
+}
+
+int wc_worker(int *argp) {
+  int tid = (int)argp;
+  int lo = n * tid / nthreads;
+  int hi = n * (tid + 1) / nthreads;
+  int i;
+  for (i = lo; i < hi; i += 1) {
+    int w = words[i];
+    int slot = (w * 31) % 512;
+    if (slot < 0) { slot += 512; }
+    pthread_mutex_lock(&table_mutex);
+    int probes = 0;
+    while (probes < 512 && table_keys[slot] != 0
+           && table_keys[slot] != w) {
+      slot = (slot + 1) % 512;
+      probes += 1;
+    }
+    table_keys[slot] = w;
+    table_counts[slot] += 1;
+    pthread_mutex_unlock(&table_mutex);
+  }
+  return 0;
+}
+
+int compare_pairs(int *a, int *b) {
+  // Sort by count descending, key ascending (deterministic).
+  if (b[0] != a[0]) {
+    return b[0] - a[0];
+  }
+  return a[1] - b[1];
+}
+
+int main() {
+  n = getparam(0);
+  nthreads = getparam(1);
+  rng_state = 29;
+  pthread_mutex_init(&table_mutex, 0);
+  gen_words();
+  int tids[8];
+  int t;
+  for (t = 0; t < nthreads; t += 1) {
+    pthread_create(&tids[t], 0, wc_worker, (int*)t);
+  }
+  for (t = 0; t < nthreads; t += 1) {
+    pthread_join(tids[t], 0);
+  }
+  int unique = 0;
+  int i;
+  for (i = 0; i < 512; i += 1) {
+    if (table_keys[i] != 0) {
+      pairs[unique * 2] = table_counts[i];
+      pairs[unique * 2 + 1] = table_keys[i];
+      unique += 1;
+    }
+  }
+  // qsort calls back into the recompiled binary (comparator pointer).
+  qsort(pairs, unique, 16, compare_pairs);
+  printf("word_count unique=%d top=%d/%d second=%d/%d\n",
+         unique, pairs[0], pairs[1], pairs[2], pairs[3]);
+  return 0;
+}
+'''
+
+
+def _simple_inputs(small, medium, large):
+    return {
+        "small": lambda: InputSpec(params=small),
+        "medium": lambda: InputSpec(params=medium),
+        "large": lambda: InputSpec(params=large),
+    }
+
+
+PHOENIX_WORKLOADS = [
+    Workload("histogram", "phoenix", HISTOGRAM,
+             inputs=_simple_inputs((512, 4), (1536, 4), (4096, 8))),
+    Workload("kmeans", "phoenix", KMEANS,
+             inputs=_simple_inputs((192, 4, 2), (512, 4, 3), (1024, 8, 4))),
+    Workload("linear_regression", "phoenix", LINEAR_REGRESSION,
+             inputs=_simple_inputs((512, 4), (1024, 4), (2048, 8))),
+    Workload("matrix_multiply", "phoenix", MATRIX_MULTIPLY,
+             inputs=_simple_inputs((12, 4), (20, 4), (32, 8))),
+    Workload("pca", "phoenix", PCA,
+             inputs=_simple_inputs((12, 12, 4), (20, 20, 4), (32, 32, 8))),
+    Workload("string_match", "phoenix", STRING_MATCH,
+             inputs=_simple_inputs((768, 4), (2048, 4), (4095, 8))),
+    Workload("word_count", "phoenix", WORD_COUNT,
+             inputs=_simple_inputs((256, 4), (512, 4), (1024, 8))),
+]

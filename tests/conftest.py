@@ -1,0 +1,89 @@
+"""Shared fixtures: small compiled programs, reusable across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Recompiler, run_image
+from repro.minicc import compile_minic
+
+COUNTER_MT = r'''
+int counter;
+int lock;
+void spin_lock(int *l) { while (__sync_lock_test_and_set(l, 1)) { } }
+void spin_unlock(int *l) { __sync_lock_release(l); }
+int worker(int *arg) {
+  int i;
+  for (i = 0; i < 30; i += 1) {
+    spin_lock(&lock);
+    counter += 1;
+    spin_unlock(&lock);
+  }
+  return 0;
+}
+int main() {
+  int tids[4];
+  int i;
+  for (i = 0; i < 4; i += 1) { pthread_create(&tids[i], 0, worker, 0); }
+  for (i = 0; i < 4; i += 1) { pthread_join(tids[i], 0); }
+  printf("c=%d\n", counter);
+  return 0;
+}
+'''
+
+SUMLOOP = r'''
+int a[64];
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 64; i += 1) { a[i] = i * 3; }
+  for (i = 0; i < 64; i += 1) { s += a[i] - i; }
+  printf("s=%d\n", s);
+  return 0;
+}
+'''
+
+
+@pytest.fixture(scope="session")
+def sumloop_o0():
+    return compile_minic(SUMLOOP, opt_level=0)
+
+
+@pytest.fixture(scope="session")
+def sumloop_o3():
+    return compile_minic(SUMLOOP, opt_level=3)
+
+
+@pytest.fixture(scope="session")
+def counter_mt_o3():
+    return compile_minic(COUNTER_MT, opt_level=3)
+
+
+@pytest.fixture(scope="session")
+def sumloop_recompiled(sumloop_o0):
+    return Recompiler(sumloop_o0).recompile()
+
+
+@pytest.fixture(scope="session")
+def counter_mt_recompiled(counter_mt_o3):
+    return Recompiler(counter_mt_o3).recompile()
+
+
+def compile_and_run(source: str, opt_level: int = 0, **kwargs):
+    image = compile_minic(source, opt_level=opt_level)
+    return run_image(image, **kwargs)
+
+
+def recompile_matches(source: str, opt_level: int = 0, seed: int = 1,
+                      **run_kwargs) -> bool:
+    """Compile, recompile conservatively, compare observable behaviour."""
+    image = compile_minic(source, opt_level=opt_level)
+    original = run_image(image, seed=seed, **run_kwargs)
+    result = Recompiler(image).recompile()
+    recompiled = run_image(result.image, seed=seed, **run_kwargs)
+    assert original.ok, f"original faulted: {original.fault}"
+    if not recompiled.matches(original):
+        raise AssertionError(
+            f"mismatch: original={original.stdout!r} "
+            f"recompiled={recompiled.stdout!r} fault={recompiled.fault}")
+    return True

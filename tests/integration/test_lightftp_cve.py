@@ -1,0 +1,138 @@
+"""Integration test for the §4.1 use case: detecting and mitigating
+CVE-2023-24042 in the LightFTP binary with a Polynima transformation.
+
+The exploit abuses the shared session context: a blocked LIST handler
+later uses a file name a USER command overwrote.  The mitigation is a
+~70-line compiler pass + runtime handler in the paper; here it is a
+``RecordExternalArgs`` hook on stat/opendir plus a runtime component
+that compares the paths and redirects the handler to the last
+validated path.
+"""
+
+import pytest
+
+from repro.core import Lifter, Recompiler, make_library, run_image
+from repro.core.fences import FenceInsertion
+from repro.core.runtime import RecompiledBinaryBuilder
+from repro.core.transforms import RecordExternalArgs, RedirectExternalCalls
+from repro.passes import standard_pipeline
+from repro.workloads import get
+from repro.workloads.realworld import (_FTP_FS, ftp_benign_script,
+                                       ftp_exploit_script)
+
+
+@pytest.fixture(scope="module")
+def lightftp_image():
+    return get("lightftp").compile(opt_level=3)
+
+
+def _library(script):
+    return make_library(fs=dict(_FTP_FS), net_script=script)
+
+
+class TestExploitOnOriginal:
+    def test_benign_session_lists_directory(self, lightftp_image):
+        run = run_image(lightftp_image, library=_library(
+            ftp_benign_script()), seed=5)
+        assert run.ok
+        assert b"readme.txt" in run.net_sent[0]
+        assert b"root:" not in run.net_sent[0]
+
+    def test_exploit_leaks_protected_file(self, lightftp_image):
+        run = run_image(lightftp_image, library=_library(
+            ftp_exploit_script()), seed=5)
+        assert run.ok
+        assert b"root:x:0:0" in run.net_sent[0], \
+            "exploit must leak /etc/passwd on the unpatched binary"
+
+
+class TestExploitOnRecompiled:
+    def test_plain_recompilation_preserves_behaviour(self, lightftp_image):
+        """Recompilation without the patch faithfully preserves the bug
+        (correctness means bug-for-bug equivalence)."""
+        result = Recompiler(lightftp_image).recompile()
+        benign = run_image(result.image,
+                           library=_library(ftp_benign_script()), seed=5)
+        exploit = run_image(result.image,
+                            library=_library(ftp_exploit_script()), seed=5)
+        original_benign = run_image(
+            lightftp_image, library=_library(ftp_benign_script()), seed=5)
+        assert benign.matches(original_benign)
+        assert benign.net_sent == original_benign.net_sent
+        assert b"root:x:0:0" in exploit.net_sent[0]
+
+
+def build_patched(image):
+    """The §4.1 mitigation as a Polynima transformation pipeline."""
+    recompiler = Recompiler(image)
+    cfg = recompiler.recover_cfg()
+    module = Lifter(image, cfg).lift()
+    FenceInsertion().run_module(module)
+    # The compiler-pass side: record the paths handed to stat, and
+    # divert opendir/open to checked runtime handlers.
+    RecordExternalArgs({"fs_stat": "__patch_note_stat"}).run_module(module)
+    # Only the stat->opendir pair participates in the race (the paper's
+    # pass "records and compares the path arguments passed to the stat
+    # and opendir calls"); RETR's fs_open is a synchronous, benign path.
+    RedirectExternalCalls({"fs_opendir": "__patch_checked_opendir"}) \
+        .run_module(module)
+    standard_pipeline().run(module)
+    scrub = [(b.start, b.end) for f in cfg.functions.values()
+             for b in f.blocks.values()]
+    return RecompiledBinaryBuilder(module, image, scrub_blocks=scrub).build()
+
+
+class PatchRuntime:
+    """The runtime component ("written in plain C/C++" in the paper):
+    remembers the last stat-validated path; a mismatching opendir/open
+    is an exploit — log it and redirect to the validated path."""
+
+    def __init__(self, library) -> None:
+        self.library = library
+        self.validated = b""
+        self.detections = []
+        library.register("__patch_note_stat", self.note_stat)
+        library.register("__patch_checked_opendir",
+                         self.checked(library.do_fs_opendir))
+
+    def note_stat(self, machine, thread, args):
+        self.validated = machine.memory.read_cstr(args[0])
+        return 0
+
+    def checked(self, underlying):
+        def handler(machine, thread, args):
+            requested = machine.memory.read_cstr(args[0])
+            if requested != self.validated:
+                self.detections.append((requested, self.validated))
+                # Mitigate: restore the validated value (the paper's
+                # "replace the value stored in context->FileName with
+                # the older value").
+                machine.memory.write_cstr(args[0], self.validated)
+            return underlying(machine, thread, args)
+        return handler
+
+
+class TestMitigation:
+    def test_benign_traffic_unaffected(self, lightftp_image):
+        patched = build_patched(lightftp_image)
+        library = _library(ftp_benign_script())
+        runtime = PatchRuntime(library)
+        run = run_image(patched, library=library, seed=5)
+        assert run.ok
+        assert b"readme.txt" in run.net_sent[0]
+        assert not runtime.detections
+
+    def test_exploit_detected_and_blocked(self, lightftp_image):
+        patched = build_patched(lightftp_image)
+        library = _library(ftp_exploit_script())
+        runtime = PatchRuntime(library)
+        run = run_image(patched, library=library, seed=5)
+        assert run.ok
+        assert runtime.detections, "mismatch must be detected"
+        requested, validated = runtime.detections[0]
+        assert requested == b"/etc/passwd"
+        assert validated == b"/pub"
+        # The handler was redirected to the validated directory: the
+        # protected file is never leaked.
+        assert b"root:x:0:0" not in run.net_sent[0]
+        assert b"readme.txt" in run.net_sent[0]

@@ -1,0 +1,132 @@
+"""Integration tests over the benchmark workloads.
+
+Every workload must (a) compile at both opt levels, (b) run
+deterministically (same output at O0/O3 and across seeds where the
+program is race-free by design), and (c) recompile correctly under the
+pipeline configuration the paper uses for it.
+"""
+
+import pytest
+
+from repro.core import (AdditiveLifting, ICFTTracer, Recompiler, run_image)
+from repro.workloads import (ALL_WORKLOADS, CKIT_WORKLOADS,
+                             GAPBS_WORKLOADS, PHOENIX_WORKLOADS,
+                             REALWORLD_WORKLOADS, SPEC_WORKLOADS, get)
+
+#: SPEC programs that need dynamic recovery (indirect calls) and the one
+#: that is expected to fail strict translation.
+NEEDS_TRACE = {"bzip2", "gcc", "gobmk", "sjeng", "h264ref"}
+EXPECTED_LIFT_FAILURE = {"xalancbmk"}
+
+
+@pytest.mark.parametrize("wl", ALL_WORKLOADS, ids=lambda wl: wl.name)
+def test_compiles_and_runs_both_levels(wl):
+    outputs = {}
+    for opt in (0, 3):
+        image = wl.compile(opt_level=opt)
+        result = run_image(image, library=wl.library(), seed=11)
+        assert result.ok, f"{wl.name} O{opt}: {result.fault}"
+        assert result.stdout, f"{wl.name} O{opt}: no output"
+        outputs[opt] = result.stdout
+    assert outputs[0] == outputs[3], f"{wl.name}: O0/O3 diverge"
+
+
+@pytest.mark.parametrize("wl", PHOENIX_WORKLOADS + CKIT_WORKLOADS[:4],
+                         ids=lambda wl: wl.name)
+def test_deterministic_across_seeds(wl):
+    image = wl.compile(opt_level=3)
+    a = run_image(image, library=wl.library(), seed=1)
+    b = run_image(image, library=wl.library(), seed=99)
+    assert a.stdout == b.stdout, f"{wl.name}: seed-dependent output"
+
+
+@pytest.mark.parametrize(
+    "wl", PHOENIX_WORKLOADS + GAPBS_WORKLOADS[:3] + CKIT_WORKLOADS[:3]
+    + REALWORLD_WORKLOADS, ids=lambda wl: wl.name)
+@pytest.mark.parametrize("opt", [0, 3])
+def test_recompiles_correctly(wl, opt):
+    image = wl.compile(opt_level=opt)
+    original = run_image(image, library=wl.library(), seed=11)
+    result = Recompiler(image).recompile()
+    recompiled = run_image(result.image, library=wl.library(), seed=11)
+    assert recompiled.matches(original), \
+        (f"{wl.name} O{opt}: {recompiled.fault} "
+         f"{recompiled.stdout[:60]!r} want {original.stdout[:60]!r}")
+
+
+@pytest.mark.parametrize("name", sorted(NEEDS_TRACE))
+def test_spec_indirect_programs_need_hybrid(name):
+    """Static-only recompilation of indirect-call-heavy programs hits a
+    control-flow miss; augmenting with the ICFT trace fixes them —
+    the paper's core hybrid-recovery claim."""
+    wl = get(name)
+    image = wl.compile(opt_level=3)
+    original = run_image(image, library=wl.library(), seed=11)
+    recompiler = Recompiler(image)
+    trace = ICFTTracer(image).trace(lambda _x: wl.library(), inputs=[None],
+                                    seed=11)
+    assert trace.total_icfts >= 1
+    result = recompiler.recompile(trace=trace)
+    recompiled = run_image(result.image, library=wl.library(), seed=11)
+    assert recompiled.matches(original)
+
+
+def test_xalancbmk_fails_strict_translation():
+    from repro.core.translator import TranslationError
+    wl = get("xalancbmk")
+    image = wl.compile(opt_level=3)
+    with pytest.raises(TranslationError):
+        Recompiler(image).recompile()
+
+
+def test_xalancbmk_original_runs_fine():
+    wl = get("xalancbmk")
+    result = run_image(wl.compile(opt_level=3), library=wl.library())
+    assert result.ok and b"tags=" in result.stdout
+
+
+@pytest.mark.parametrize("name", ["mcf", "libquantum"])
+def test_zero_icft_programs_static_only(name):
+    """mcf/libquantum have no indirect transfers: static recovery alone
+    is complete (Table 4's argument for the hybrid design)."""
+    wl = get(name)
+    image = wl.compile(opt_level=3)
+    trace = ICFTTracer(image).trace(lambda _x: wl.library(), inputs=[None])
+    assert trace.total_icfts == 0
+    original = run_image(image, library=wl.library())
+    result = Recompiler(image).recompile()
+    recompiled = run_image(result.image, library=wl.library())
+    assert recompiled.matches(original)
+
+
+def test_additive_lifting_on_spec_gcc():
+    wl = get("gcc")
+    image = wl.compile(opt_level=0)
+    original = run_image(image, library=wl.library(), seed=11)
+    lifting = AdditiveLifting(Recompiler(image))
+    report = lifting.run(wl.library_factory(), seed=11)
+    final = report.iterations[-1].run_result
+    assert final is not None and final.stdout == original.stdout
+    assert report.recompile_loops >= 1
+
+
+class TestCKitValidation:
+    @pytest.mark.parametrize("wl", CKIT_WORKLOADS, ids=lambda wl: wl.name)
+    def test_lock_correct_under_contention(self, wl):
+        image = wl.compile(opt_level=3)
+        result = run_image(image, library=wl.library("small"), seed=13)
+        assert b"counter=100 expected=100" in result.stdout
+
+    @pytest.mark.parametrize("wl", CKIT_WORKLOADS[:5],
+                             ids=lambda wl: wl.name)
+    def test_recompiled_lock_still_correct(self, wl):
+        image = wl.compile(opt_level=3)
+        result = Recompiler(image).recompile()
+        run = run_image(result.image, library=wl.library("small"), seed=13)
+        assert b"counter=100 expected=100" in run.stdout
+
+    @pytest.mark.parametrize("wl", CKIT_WORKLOADS, ids=lambda wl: wl.name)
+    def test_latency_mode_reports_cycles(self, wl):
+        image = wl.compile(opt_level=3)
+        result = run_image(image, library=wl.library("latency"))
+        assert b"cycles_per_op=" in result.stdout

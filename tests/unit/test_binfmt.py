@@ -1,0 +1,111 @@
+"""Unit tests for the VXE image format."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.binfmt import IMPORT_STUB_BASE, IMPORT_STUB_SIZE, Image, ImageError
+
+
+class TestSections:
+    def test_section_lookup(self):
+        image = Image()
+        image.add_section(".text", 0x1000, b"\x00" * 16, executable=True)
+        image.add_section(".data", 0x2000, b"\x01" * 8, writable=True)
+        assert image.section(".text").executable
+        assert image.section_at(0x1005).name == ".text"
+        assert image.section_at(0x2007).name == ".data"
+        assert image.section_at(0x3000) is None
+
+    def test_overlapping_sections_rejected(self):
+        image = Image()
+        image.add_section("a", 0x1000, b"\x00" * 16)
+        with pytest.raises(ImageError):
+            image.add_section("b", 0x1008, b"\x00" * 16)
+
+    def test_adjacent_sections_allowed(self):
+        image = Image()
+        image.add_section("a", 0x1000, b"\x00" * 16)
+        image.add_section("b", 0x1010, b"\x00" * 16)
+        assert image.section_at(0x100F).name == "a"
+        assert image.section_at(0x1010).name == "b"
+
+    def test_missing_section_raises(self):
+        with pytest.raises(ImageError):
+            Image().section(".text")
+
+
+class TestImports:
+    def test_slots_are_stable_and_spaced(self):
+        image = Image()
+        a = image.import_slot("printf")
+        b = image.import_slot("malloc")
+        assert image.import_slot("printf") == a
+        assert b - a == IMPORT_STUB_SIZE
+        assert a >= IMPORT_STUB_BASE
+
+    def test_name_lookup(self):
+        image = Image()
+        addr = image.import_slot("puts")
+        assert image.import_name(addr) == "puts"
+        assert image.import_name(addr + 1) is None
+        assert image.import_name(0x1000) is None
+
+    def test_is_import_address(self):
+        assert Image.is_import_address(IMPORT_STUB_BASE)
+        assert not Image.is_import_address(0x400000)
+
+
+class TestSerialisation:
+    def _sample(self) -> Image:
+        image = Image(entry=0x400010)
+        image.add_section(".text", 0x400000, bytes(range(64)),
+                          executable=True)
+        image.add_section(".data", 0x700000, b"\xAA" * 32, writable=True)
+        image.import_slot("printf")
+        image.import_slot("exit")
+        image.symbols["main"] = 0x400010
+        image.metadata["opt_level"] = "3"
+        return image
+
+    def test_roundtrip(self):
+        image = self._sample()
+        clone = Image.from_bytes(image.to_bytes())
+        assert clone.entry == image.entry
+        assert clone.imports == image.imports
+        assert clone.symbols == image.symbols
+        assert clone.metadata["opt_level"] == "3"
+        for mine, theirs in zip(image.sections, clone.sections):
+            assert mine.name == theirs.name
+            assert mine.addr == theirs.addr
+            assert bytes(mine.data) == bytes(theirs.data)
+            assert mine.executable == theirs.executable
+
+    def test_file_roundtrip(self, tmp_path):
+        image = self._sample()
+        path = tmp_path / "prog.vxe"
+        image.save(path)
+        clone = Image.load(path)
+        assert clone.entry == image.entry
+        assert bytes(clone.section(".text").data) == \
+            bytes(image.section(".text").data)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ImageError):
+            Image.from_bytes(b"NOPE" + b"\x00" * 16)
+
+    @given(st.binary(min_size=0, max_size=128),
+           st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_arbitrary_payload(self, payload, entry):
+        image = Image(entry=entry)
+        image.add_section(".blob", 0x10000, payload)
+        clone = Image.from_bytes(image.to_bytes())
+        assert clone.entry == entry
+        assert bytes(clone.section(".blob").data) == payload
+
+    def test_stripped_drops_symbols_keeps_sections(self):
+        image = self._sample()
+        stripped = image.stripped()
+        assert stripped.symbols == {}
+        assert stripped.entry == image.entry
+        assert len(stripped.sections) == len(image.sections)

@@ -1,0 +1,314 @@
+"""Unit tests for the external library (libc / pthreads / OpenMP /
+events / FS / net / Polynima runtime)."""
+
+import pytest
+
+from repro.core import run_image
+from repro.emulator import EmulationFault
+from repro.minicc import compile_minic
+
+from conftest import compile_and_run
+
+
+class TestLibc:
+    def test_malloc_free_reuse(self):
+        res = compile_and_run(r'''
+int main() {
+  int *p = (int*)malloc(64);
+  p[0] = 7;
+  int *q = (int*)malloc(64);
+  free(p);
+  int *r = (int*)malloc(64);     // should reuse p's block
+  printf("%d %d\n", r == p, p[0]);
+  return 0;
+}
+''')
+        assert res.stdout == b"1 7\n"
+
+    def test_calloc_zeroes(self):
+        res = compile_and_run(r'''
+int main() {
+  int *p = (int*)malloc(32);
+  p[0] = 99;
+  free(p);
+  int *q = (int*)calloc(4, 8);
+  printf("%d\n", q[0]);
+  return 0;
+}
+''')
+        assert res.stdout == b"0\n"
+
+    def test_string_functions(self):
+        res = compile_and_run(r'''
+char buf[64];
+int main() {
+  strcpy(buf, "hello");
+  strcat(buf, " world");
+  printf("%d %d %s\n", strlen(buf), strcmp(buf, "hello world"), buf);
+  return 0;
+}
+''')
+        assert res.stdout == b"11 0 hello world\n"
+
+    def test_memcpy_memset_memcmp(self):
+        res = compile_and_run(r'''
+char a[16];
+char b[16];
+int main() {
+  memset(a, 65, 8);
+  memcpy(b, a, 8);
+  printf("%d %c\n", memcmp(a, b, 8), b[7]);
+  return 0;
+}
+''')
+        assert res.stdout == b"0 A\n"
+
+    def test_atoi(self):
+        res = compile_and_run(r'''
+int main() {
+  printf("%d %d\n", atoi("  -42x"), atoi("123"));
+  return 0;
+}
+''')
+        assert res.stdout == b"-42 123\n"
+
+    def test_printf_formats(self):
+        res = compile_and_run(r'''
+int main() {
+  printf("%d %u %x %c %s %%\n", -5, 5, 255, 'Z', "ok");
+  return 0;
+}
+''')
+        assert res.stdout == b"-5 5 ff Z ok %\n"
+
+    def test_exit_stops_immediately(self):
+        res = compile_and_run(r'''
+int main() {
+  printf("before\n");
+  exit(3);
+  printf("after\n");
+  return 0;
+}
+''')
+        assert res.stdout == b"before\n"
+        assert res.exit_code == 3
+
+    def test_unresolved_import_faults(self):
+        res = compile_and_run(r'''
+int main() { totally_unknown_fn(1); return 0; }
+''')
+        assert res.fault is not None
+
+    def test_qsort_calls_guest_comparator(self):
+        res = compile_and_run(r'''
+int values[6];
+int cmp_ints(int *a, int *b) { return a[0] - b[0]; }
+int main() {
+  values[0] = 5; values[1] = 1; values[2] = 4;
+  values[3] = 2; values[4] = 9; values[5] = 0;
+  qsort(values, 6, 8, cmp_ints);
+  int i;
+  for (i = 0; i < 6; i += 1) { printf("%d ", values[i]); }
+  printf("\n");
+  return 0;
+}
+''')
+        assert res.stdout == b"0 1 2 4 5 9 \n"
+
+
+class TestPthreads:
+    def test_create_join_return_value(self):
+        res = compile_and_run(r'''
+int worker(int *arg) { return (int)arg + 10; }
+int main() {
+  int tid;
+  int ret;
+  pthread_create(&tid, 0, worker, (int*)32);
+  pthread_join(tid, &ret);
+  printf("%d\n", ret);
+  return 0;
+}
+''')
+        assert res.stdout == b"42\n"
+
+    def test_mutex_serialises(self):
+        res = compile_and_run(r'''
+int counter; int m;
+int worker(int *arg) {
+  int i;
+  for (i = 0; i < 50; i += 1) {
+    pthread_mutex_lock(&m);
+    counter += 1;
+    pthread_mutex_unlock(&m);
+  }
+  return 0;
+}
+int main() {
+  pthread_mutex_init(&m, 0);
+  int tids[4]; int t;
+  for (t = 0; t < 4; t += 1) pthread_create(&tids[t], 0, worker, 0);
+  for (t = 0; t < 4; t += 1) pthread_join(tids[t], 0);
+  printf("%d\n", counter);
+  return 0;
+}
+''', seed=11)
+        assert res.stdout == b"200\n"
+
+    def test_barrier_rendezvous(self):
+        res = compile_and_run(r'''
+int barrier;
+int order[8];
+int idx;
+int m;
+int worker(int *arg) {
+  pthread_mutex_lock(&m);
+  order[idx] = 1;            // phase 1 marker
+  idx += 1;
+  pthread_mutex_unlock(&m);
+  pthread_barrier_wait(&barrier);
+  // After the barrier every phase-1 marker must be set.
+  int i; int all = 1;
+  for (i = 0; i < 3; i += 1) { if (order[i] != 1) { all = 0; } }
+  return all;
+}
+int main() {
+  pthread_mutex_init(&m, 0);
+  pthread_barrier_init(&barrier, 0, 3);
+  int tids[3]; int t; int ret; int good = 0;
+  for (t = 0; t < 3; t += 1) pthread_create(&tids[t], 0, worker, 0);
+  for (t = 0; t < 3; t += 1) {
+    pthread_join(tids[t], &ret);
+    good += ret;
+  }
+  printf("%d\n", good);
+  return 0;
+}
+''', seed=3)
+        assert res.stdout == b"3\n"
+
+    def test_deadlock_detected(self):
+        image = compile_minic(r'''
+int m;
+int main() {
+  pthread_mutex_init(&m, 0);
+  pthread_mutex_lock(&m);
+  pthread_mutex_lock(&m);    // recursive lock faults (error-checking)
+  return 0;
+}
+''')
+        res = run_image(image)
+        assert res.fault is not None
+
+
+class TestOpenMP:
+    def test_parallel_for_covers_range(self):
+        res = compile_and_run(r'''
+int marks[64];
+int body(int *arg, int lo, int hi) {
+  int i;
+  for (i = lo; i < hi; i += 1) { marks[i] = 1; }
+  return 0;
+}
+int main() {
+  omp_parallel_for(body, 0, 0, 64);
+  int i; int total = 0;
+  for (i = 0; i < 64; i += 1) { total += marks[i]; }
+  printf("%d %d\n", total, omp_get_max_threads());
+  return 0;
+}
+''', omp_threads=4)
+        assert res.stdout == b"64 4\n"
+
+
+class TestEventsAndNet:
+    def test_event_wait_signal(self):
+        res = compile_and_run(r'''
+int state;
+int waiter(int *arg) {
+  evt_wait(7);
+  return state;       // must observe the pre-signal write
+}
+int main() {
+  int tid; int ret;
+  pthread_create(&tid, 0, waiter, 0);
+  state = 5;
+  evt_signal(7);
+  pthread_join(tid, &ret);
+  printf("%d\n", ret);
+  return 0;
+}
+''', seed=2)
+        assert res.stdout == b"5\n"
+
+    def test_net_script_roundtrip(self):
+        res = compile_and_run(r'''
+char buf[64];
+int main() {
+  int conn = net_accept();
+  int n = net_recv(conn, buf, 60);
+  net_send(conn, buf, n);
+  int done = net_recv(conn, buf, 60);
+  printf("conn=%d n=%d done=%d\n", conn, n, done);
+  return 0;
+}
+''', net_script=[[("msg", b"ping")]])
+        assert res.stdout == b"conn=0 n=4 done=0\n"
+        assert res.net_sent[0] == b"ping"
+
+
+class TestFilesystem:
+    FS = {"/dir/a.txt": b"alpha", "/dir/b.txt": b"beta", "/top.txt": b"t"}
+
+    def test_stat(self):
+        res = compile_and_run(r'''
+int main() {
+  printf("%d %d %d\n", fs_stat("/dir"), fs_stat("/dir/a.txt"),
+         fs_stat("/nope"));
+  return 0;
+}
+''', fs=dict(self.FS))
+        assert res.stdout == b"0 0 -1\n"
+
+    def test_opendir_readdir(self):
+        res = compile_and_run(r'''
+char entry[32];
+int main() {
+  int d = fs_opendir("/dir");
+  while (fs_readdir(d, entry) == 1) { printf("%s;", entry); }
+  fs_closedir(d);
+  printf("\n");
+  return 0;
+}
+''', fs=dict(self.FS))
+        assert res.stdout == b"a.txt;b.txt;\n"
+
+    def test_open_read(self):
+        res = compile_and_run(r'''
+char buf[16];
+int main() {
+  int f = fs_open("/dir/a.txt");
+  int n = fs_read(f, buf, 15);
+  buf[n] = 0;
+  printf("%d %s\n", fs_size(f), buf);
+  fs_close(f);
+  return 0;
+}
+''', fs=dict(self.FS))
+        assert res.stdout == b"5 alpha\n"
+
+
+class TestPolynimaRuntime:
+    def test_enter_allocates_tls_once_per_thread(self, sumloop_recompiled):
+        result = run_image(sumloop_recompiled.image)
+        assert result.ok
+        assert result.stdout == b"s=4032\n"
+
+    def test_record_access_classifies_stack(self, sumloop_o0):
+        from repro.core import Recompiler
+        result = Recompiler(sumloop_o0, instrument_accesses=True).recompile()
+        run = run_image(result.image)
+        assert run.ok
+        kinds = set()
+        for record in run.access_log.values():
+            kinds |= record["kinds"]
+        assert "local" in kinds and "shared" in kinds

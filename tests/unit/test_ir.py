@@ -1,0 +1,194 @@
+"""Unit tests for the Poly IR: builder, verifier, analyses, printer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import (Block, Br, ConstantInt, Function, I8, I64, IRBuilder,
+                      Module, Phi, VerificationError, const,
+                      dominance_frontiers, dominates, dominators,
+                      format_function, format_module, natural_loops,
+                      predecessors, reachable_blocks, replace_all_uses,
+                      reverse_postorder, users_map, verify_function)
+
+
+def diamond_function():
+    """entry -> (left|right) -> join, with a phi at the join."""
+    fn = Function("diamond")
+    entry = fn.add_block("entry")
+    left = fn.add_block("left")
+    right = fn.add_block("right")
+    join = fn.add_block("join")
+    b = IRBuilder(entry)
+    cond = b.icmp("eq", b.const(1), b.const(1))
+    b.condbr(cond, left, right)
+    b.position(left)
+    lval = b.add(b.const(1), b.const(2))
+    b.br(join)
+    b.position(right)
+    rval = b.add(b.const(3), b.const(4))
+    b.br(join)
+    b.position(join)
+    phi = b.phi(I64)
+    phi.add_incoming(lval, left)
+    phi.add_incoming(rval, right)
+    b.ret(phi)
+    return fn, entry, left, right, join, phi
+
+
+def loop_function():
+    """entry -> header <-> body, header -> exit."""
+    fn = Function("loop")
+    entry = fn.add_block("entry")
+    header = fn.add_block("header")
+    body = fn.add_block("body")
+    exit_ = fn.add_block("exit")
+    b = IRBuilder(entry)
+    b.br(header)
+    b.position(header)
+    phi = b.phi(I64)
+    phi.add_incoming(b.const(0), entry)
+    cond = b.icmp("slt", phi, b.const(10))
+    b.condbr(cond, body, exit_)
+    b.position(body)
+    nxt = b.add(phi, b.const(1))
+    phi.add_incoming(nxt, body)
+    b.br(header)
+    b.position(exit_)
+    b.ret(phi)
+    return fn, header, body
+
+
+class TestBuilderAndVerifier:
+    def test_diamond_verifies(self):
+        fn, *_ = diamond_function()
+        verify_function(fn)
+
+    def test_loop_verifies(self):
+        fn, *_ = loop_function()
+        verify_function(fn)
+
+    def test_missing_terminator_detected(self):
+        fn = Function("broken")
+        block = fn.add_block("entry")
+        IRBuilder(block).add(const(1), const(2))
+        with pytest.raises(VerificationError):
+            verify_function(fn)
+
+    def test_use_before_def_detected(self):
+        fn = Function("broken")
+        entry = fn.add_block("entry")
+        b = IRBuilder(entry)
+        x = b.add(const(1), const(2))
+        y = b.add(const(3), const(4))
+        # Swap so y uses... make y use a value defined after it.
+        entry.remove(y)
+        entry.insert(0, y)
+        y.operands[0] = x
+        b.ret(y)
+        with pytest.raises(VerificationError):
+            verify_function(fn)
+
+    def test_cross_branch_dominance_violation_detected(self):
+        fn, entry, left, right, join, phi = diamond_function()
+        # Make the right branch use the value computed on the left.
+        lval = left.instructions[0]
+        bad = IRBuilder(right)
+        right.remove(right.instructions[-1])
+        use = bad.add(lval, const(1))
+        bad.br(join)
+        phi.remove_incoming(right)
+        phi.add_incoming(use, right)
+        with pytest.raises(VerificationError):
+            verify_function(fn)
+
+    def test_phi_incoming_must_match_preds(self):
+        fn, entry, left, right, join, phi = diamond_function()
+        phi.remove_incoming(right)
+        with pytest.raises(VerificationError):
+            verify_function(fn)
+
+    def test_duplicate_function_name_detected(self):
+        from repro.ir import verify_module
+        module = Module()
+        for _ in range(2):
+            fn = Function("same")
+            block = fn.add_block()
+            IRBuilder(block).ret()
+            module.add_function(fn)
+        with pytest.raises(VerificationError):
+            verify_module(module)
+
+    def test_constants_canonical_signed(self):
+        assert ConstantInt(2 ** 64 - 1).value == -1
+        assert ConstantInt(255, I8).value == -1
+        assert ConstantInt(127, I8).value == 127
+
+
+class TestAnalyses:
+    def test_rpo_starts_at_entry(self):
+        fn, *_ = diamond_function()
+        order = reverse_postorder(fn)
+        assert order[0] is fn.entry
+        assert len(order) == 4
+
+    def test_predecessors(self):
+        fn, entry, left, right, join, _ = diamond_function()
+        preds = predecessors(fn)
+        assert set(preds[join]) == {left, right}
+        assert preds[entry] == []
+
+    def test_dominators_diamond(self):
+        fn, entry, left, right, join, _ = diamond_function()
+        idom = dominators(fn)
+        assert idom[entry] is None
+        assert idom[left] is entry
+        assert idom[right] is entry
+        assert idom[join] is entry
+        assert dominates(entry, join, idom)
+        assert not dominates(left, join, idom)
+
+    def test_dominance_frontier_diamond(self):
+        fn, entry, left, right, join, _ = diamond_function()
+        frontiers = dominance_frontiers(fn)
+        assert join in frontiers[left]
+        assert join in frontiers[right]
+
+    def test_natural_loop_found(self):
+        fn, header, body = loop_function()
+        loops = natural_loops(fn)
+        assert len(loops) == 1
+        assert loops[0].header is header
+        assert body in loops[0].blocks
+        exits = loops[0].exiting_blocks()
+        assert header in exits
+
+    def test_unreachable_block_excluded(self):
+        fn, *_ = diamond_function()
+        orphan = fn.add_block("orphan")
+        IRBuilder(orphan).ret()
+        assert orphan not in reachable_blocks(fn)
+
+    def test_users_map_and_rauw(self):
+        fn, entry, left, right, join, phi = diamond_function()
+        lval = left.instructions[0]
+        users = users_map(fn)
+        assert phi in users[lval]
+        replacement = const(42)
+        count = replace_all_uses(fn, lval, replacement)
+        assert count == 1
+        assert phi.incoming_for(left) is replacement
+
+
+class TestPrinter:
+    def test_function_rendering_mentions_blocks(self):
+        fn, *_ = diamond_function()
+        text = format_function(fn)
+        assert "condbr" in text and "phi" in text and "ret" in text
+
+    def test_module_rendering(self):
+        module = Module("m")
+        fn, *_ = diamond_function()
+        module.add_function(fn)
+        module.ensure_import("printf")
+        text = format_module(module)
+        assert "; module m" in text and "printf" in text

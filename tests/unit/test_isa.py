@@ -1,0 +1,216 @@
+"""Unit tests for the VX ISA: registers, instructions, encoding, assembler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import (Assembler, AssemblerError, EncodingError, Imm,
+                       Instruction, Label, Mem, MNEMONICS, Reg, decode,
+                       encode, encoded_size, ins)
+from repro.isa.registers import GPR_NAMES, VEC_NAMES
+
+
+# -- registers ---------------------------------------------------------------
+
+class TestRegisters:
+    def test_gpr_roundtrip_encoding(self):
+        for name in GPR_NAMES:
+            reg = Reg(name)
+            assert Reg.from_encoding(reg.encoding) == reg
+
+    def test_vector_roundtrip_encoding(self):
+        for name in VEC_NAMES:
+            reg = Reg(name)
+            assert reg.is_vector
+            assert Reg.from_encoding(reg.encoding) == reg
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(ValueError):
+            Reg("zmm0")
+
+    def test_gpr_and_vector_encodings_disjoint(self):
+        gpr = {Reg(n).encoding for n in GPR_NAMES}
+        vec = {Reg(n).encoding for n in VEC_NAMES}
+        assert not (gpr & vec)
+
+
+# -- instruction model ----------------------------------------------------------
+
+class TestInstructionModel:
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(ValueError):
+            ins("bogus")
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            ins("mov", Reg("rax"), Imm(1), width=3)
+
+    def test_lock_on_unlockable_rejected(self):
+        with pytest.raises(ValueError):
+            ins("mov", Reg("rax"), Imm(1), lock=True)
+
+    def test_lock_allowed_on_rmw(self):
+        instr = ins("add", Mem(base=Reg("rax")), Imm(1), lock=True)
+        assert instr.is_atomic
+
+    def test_xchg_with_memory_is_atomic(self):
+        instr = ins("xchg", Mem(base=Reg("rax")), Reg("rcx"))
+        assert instr.is_atomic
+
+    def test_xchg_reg_reg_not_atomic(self):
+        assert not ins("xchg", Reg("rax"), Reg("rcx")).is_atomic
+
+    def test_terminator_classification(self):
+        assert ins("ret").is_terminator
+        assert ins("jmp", Imm(0x400000)).is_terminator
+        assert ins("hlt").is_terminator
+        assert not ins("add", Reg("rax"), Imm(1)).is_terminator
+
+    def test_direct_vs_indirect_branch(self):
+        assert ins("jmp", Imm(0x1000)).is_direct_branch
+        assert ins("jmp", Reg("rax")).is_indirect_branch
+        assert ins("call", Mem(base=Reg("rbx"))).is_indirect_branch
+
+    def test_invalid_mem_scale_rejected(self):
+        with pytest.raises(ValueError):
+            Mem(base=Reg("rax"), index=Reg("rcx"), scale=3)
+
+
+# -- encoding round trips ----------------------------------------------------------
+
+def _operand_strategy():
+    regs = st.sampled_from([Reg(n) for n in GPR_NAMES])
+    imms = st.builds(Imm, st.integers(-(2 ** 63), 2 ** 63 - 1))
+    mems = st.builds(
+        Mem,
+        base=st.one_of(st.none(), regs),
+        index=st.one_of(st.none(), regs),
+        scale=st.sampled_from([1, 2, 4, 8]),
+        disp=st.integers(-(2 ** 31), 2 ** 31 - 1))
+    return regs, imms, mems
+
+
+def _instruction_strategy():
+    regs, imms, mems = _operand_strategy()
+    width = st.sampled_from([1, 2, 4, 8])
+    two_op = st.sampled_from(["mov", "add", "sub", "and", "or", "xor",
+                              "imul", "cmp", "test", "xchg"])
+    return st.one_of(
+        st.builds(lambda m, a, b, w: ins(m, a, b, width=w),
+                  two_op, regs, st.one_of(regs, imms, mems), width),
+        st.builds(lambda m, a, b, w: ins(m, a, b, width=w),
+                  two_op, mems, regs, width),
+        st.builds(lambda a: ins("push", a), st.one_of(regs, imms)),
+        st.builds(lambda a: ins("pop", a), regs),
+        st.builds(lambda a, w: ins("neg", a, width=w), regs, width),
+        st.builds(lambda a: ins("jmp", a), st.one_of(regs, mems)),
+        st.builds(lambda m, d, s, w: ins(m, d, s, lock=True, width=w),
+                  st.sampled_from(["add", "xadd", "cmpxchg"]),
+                  mems, regs, width),
+    )
+
+
+class TestEncodingRoundTrip:
+    @given(_instruction_strategy())
+    @settings(max_examples=300, deadline=None)
+    def test_decode_inverts_encode(self, instr):
+        blob = encode(instr, address=0x400000)
+        assert len(blob) == encoded_size(instr)
+        decoded, size = decode(blob, 0, 0x400000)
+        assert size == len(blob)
+        assert decoded.mnemonic == instr.mnemonic
+        assert decoded.lock == instr.lock
+        assert decoded.width == instr.width
+        assert decoded.operands == instr.operands
+
+    @given(st.integers(2 ** 20, 2 ** 24), st.integers(-(2 ** 20), 2 ** 20))
+    @settings(max_examples=100, deadline=None)
+    def test_rel_branch_target_roundtrip(self, base, delta):
+        target = base + delta
+        instr = ins("call", Imm(target))
+        blob = encode(instr, address=base)
+        decoded, _size = decode(blob, 0, base)
+        assert decoded.operands[0].value == target
+
+    def test_bad_opcode_raises(self):
+        with pytest.raises(EncodingError):
+            decode(b"\xff\x00\x00\x00\x00\x00\x00\x00", 0, 0)
+
+    def test_truncated_raises(self):
+        blob = encode(ins("mov", Reg("rax"), Imm(42)))
+        with pytest.raises(EncodingError):
+            decode(blob[:4], 0, 0)
+
+    def test_sizes_are_address_independent(self):
+        instr = ins("jmp", Imm(0x400100))
+        assert len(encode(instr, address=0)) == \
+            len(encode(instr, address=0x400000)) == encoded_size(instr)
+
+
+# -- assembler ------------------------------------------------------------------------
+
+class TestAssembler:
+    def test_forward_and_backward_labels(self):
+        asm = Assembler(base=0x1000)
+        asm.label("start")
+        asm.emit(ins("jmp", Label("end")))        # forward
+        asm.label("mid")
+        asm.emit(ins("nop"))
+        asm.emit(ins("jmp", Label("mid")))        # backward
+        asm.label("end")
+        asm.emit(ins("ret"))
+        code = asm.assemble()
+        assert code.symbols["start"] == 0x1000
+        assert code.symbols["end"] > code.symbols["mid"] > 0x1000
+        decoded, _ = decode(code.data, 0, 0x1000)
+        assert decoded.operands[0].value == code.symbols["end"]
+
+    def test_duplicate_label_rejected(self):
+        asm = Assembler()
+        asm.label("x")
+        asm.label("x")
+        with pytest.raises(AssemblerError):
+            asm.assemble()
+
+    def test_undefined_label_rejected(self):
+        asm = Assembler()
+        asm.emit(ins("jmp", Label("nowhere")))
+        with pytest.raises(AssemblerError):
+            asm.assemble()
+
+    def test_align_pads_with_zero(self):
+        asm = Assembler(base=0x1000)
+        asm.emit(ins("nop"))        # 2 bytes
+        asm.align(8)
+        asm.label("aligned")
+        asm.emit(ins("ret"))
+        code = asm.assemble()
+        assert code.symbols["aligned"] % 8 == 0
+
+    def test_label_ref_emits_absolute_address(self):
+        asm = Assembler(base=0x2000)
+        asm.emit(ins("jmp", Label("after_table")))
+        asm.align(8)
+        asm.label("table")
+        asm.label_ref("case0")
+        asm.label("case0")
+        asm.label("after_table")
+        asm.emit(ins("ret"))
+        code = asm.assemble()
+        table_off = code.symbols["table"] - 0x2000
+        word = int.from_bytes(code.data[table_off:table_off + 8], "little")
+        assert word == code.symbols["case0"]
+
+    def test_data_directive(self):
+        asm = Assembler(base=0)
+        asm.data(b"\x01\x02\x03")
+        code = asm.assemble()
+        assert code.data == b"\x01\x02\x03"
+
+    def test_mov_label_materialises_address(self):
+        asm = Assembler(base=0x3000)
+        asm.emit(ins("mov", Reg("rax"), Label("fn")))
+        asm.label("fn")
+        asm.emit(ins("ret"))
+        code = asm.assemble()
+        decoded, _ = decode(code.data, 0, 0x3000)
+        assert decoded.operands[1].value == code.symbols["fn"]

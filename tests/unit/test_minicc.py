@@ -1,0 +1,311 @@
+"""Unit tests for the MiniC compiler: lexer, parser, sema, and
+behavioural equivalence of the O0 and O3 backends."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.minicc import (compile_minic, parse, tokenize, CodegenError,
+                          LexError, ParseError, SemaError, analyze)
+from repro.core import run_image
+
+from conftest import compile_and_run
+
+
+# -- lexer --------------------------------------------------------------------
+
+class TestLexer:
+    def test_tokens_and_kinds(self):
+        toks = tokenize("int x = 0x1F + 'a'; // comment\n")
+        kinds = [(t.kind, t.text) for t in toks[:-1]]
+        assert ("kw", "int") in kinds
+        assert any(t.kind == "int" and t.value == 0x1F for t in toks)
+        assert any(t.kind == "char" and t.value == ord("a") for t in toks)
+
+    def test_block_comment(self):
+        toks = tokenize("a /* skip\nme */ b")
+        assert [t.text for t in toks[:-1]] == ["a", "b"]
+
+    def test_string_escapes(self):
+        toks = tokenize(r'"a\nb\0"')
+        assert toks[0].text == "a\nb\0"
+
+    def test_unterminated_comment_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_unexpected_char_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("int $x;")
+
+
+# -- parser --------------------------------------------------------------------
+
+class TestParser:
+    def test_precedence(self):
+        program = parse("int main() { return 1 + 2 * 3; }")
+        ret = program.functions[0].body.body[0]
+        assert ret.value.op == "+"
+        assert ret.value.right.op == "*"
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse("int main() { return 1 }")
+
+    def test_global_array_with_initialiser(self):
+        program = parse("int a[4] = {1, 2, 3, 4};")
+        decl = program.globals[0]
+        assert decl.array_size == 4 and decl.init == [1, 2, 3, 4]
+
+    def test_switch_cases(self):
+        program = parse(
+            "int main() { switch (1) { case 1: return 2; "
+            "default: return 3; } }")
+        sw = program.functions[0].body.body[0]
+        assert len(sw.cases) == 1 and sw.default is not None
+
+    def test_undefined_name_rejected_by_sema(self):
+        with pytest.raises(SemaError):
+            analyze(parse("int main() { return nope; }"))
+
+    def test_redeclaration_rejected(self):
+        with pytest.raises(SemaError):
+            analyze(parse("int main() { int x; int x; return 0; }"))
+
+    def test_deref_non_pointer_rejected(self):
+        with pytest.raises(SemaError):
+            analyze(parse("int main() { int x; return *x; }"))
+
+
+# -- behavioural equivalence: the table of language features -----------------------
+
+FEATURES = [
+    ("arith", "printf(\"%d\", (7 + 3 * 4 - 5) / 2 % 4);", b"3"),
+    ("signed_div", "printf(\"%d %d\", -7 / 2, -7 % 2);", b"-3 -1"),
+    ("shifts", "printf(\"%d %d\", 3 << 4, -16 >> 2);", b"48 -4"),
+    ("bitops", "printf(\"%d\", (12 & 10) | (1 ^ 3));", b"10"),
+    ("compare", "printf(\"%d%d%d%d\", 1 < 2, 2 <= 1, 3 == 3, 4 != 4);",
+     b"1010"),
+    ("logic_and_or", "printf(\"%d %d\", 1 && 0, 0 || 7 > 2);", b"0 1"),
+    ("ternary", "int x = 5; printf(\"%d\", x > 3 ? 10 : 20);", b"10"),
+    ("while_loop",
+     "int i = 0; int s = 0; while (i < 5) { s += i; i += 1; } "
+     "printf(\"%d\", s);", b"10"),
+    ("do_while",
+     "int i = 10; int n = 0; do { n += 1; i -= 1; } while (i > 8); "
+     "printf(\"%d\", n);", b"2"),
+    ("for_break_continue",
+     "int i; int s = 0; for (i = 0; i < 10; i += 1) { "
+     "if (i == 3) { continue; } if (i == 7) { break; } s += i; } "
+     "printf(\"%d\", s);", b"18"),
+    ("nested_loops",
+     "int i; int j; int c = 0; for (i = 0; i < 4; i += 1) { "
+     "for (j = 0; j < i; j += 1) { c += 1; } } printf(\"%d\", c);", b"6"),
+    ("pointers",
+     "int x = 3; int *p = &x; *p = 9; printf(\"%d\", x);", b"9"),
+    ("pointer_arith",
+     "int a[4]; a[0]=1; a[1]=2; a[2]=3; a[3]=4; int *p = a + 1; "
+     "printf(\"%d %d\", *p, p[2]);", b"2 4"),
+    ("unary_ops", "int x = 5; printf(\"%d %d %d\", -x, ~x, !x);",
+     b"-5 -6 0"),
+    ("compound_assign",
+     "int x = 10; x += 5; x -= 2; x *= 3; x /= 4; x %= 6; "
+     "printf(\"%d\", x);", b"3"),
+    ("pre_increment",
+     "int x = 1; ++x; x++; printf(\"%d\", x);", b"3"),
+    ("char_type",
+     "char c = 'A'; c += 1; printf(\"%c%d\", c, c);", b"B66"),
+    ("int32_type",
+     "int32 v = 2147483647; v += 1; printf(\"%d\", v);", b"-2147483648"),
+    ("sizeof", "printf(\"%d %d %d\", sizeof(int), sizeof(char), "
+     "sizeof(int*));", b"8 1 8"),
+    ("switch_dense",
+     "int i; int s = 0; for (i = 0; i < 8; i += 1) { switch (i) { "
+     "case 0: s += 1; case 1: s += 2; case 2: s += 3; case 3: s += 4; "
+     "case 4: s += 5; default: s += 100; } } printf(\"%d\", s);",
+     b"315"),
+    ("switch_sparse",
+     "switch (50) { case 1: printf(\"a\"); case 50: printf(\"b\"); "
+     "case 900: printf(\"c\"); default: printf(\"d\"); }", b"b"),
+    ("string_literal", "printf(\"%s!\", \"hi\");", b"hi!"),
+    ("hex_literals", "printf(\"%d\", 0xFF + 0x10);", b"271"),
+    ("casts", "int x = 300; char c = (char)x; printf(\"%d\", c);",
+     b"44"),
+    ("local_array",
+     "int a[8]; int i; for (i = 0; i < 8; i += 1) { a[i] = i * i; } "
+     "printf(\"%d\", a[5]);", b"25"),
+]
+
+
+@pytest.mark.parametrize("name,body,expected",
+                         FEATURES, ids=[f[0] for f in FEATURES])
+@pytest.mark.parametrize("opt", [0, 3])
+def test_language_feature(name, body, expected, opt):
+    source = "int main() { " + body + " return 0; }"
+    res = compile_and_run(source, opt_level=opt)
+    assert res.ok, res.fault
+    assert res.stdout == expected
+
+
+class TestFunctions:
+    RECURSION = r'''
+int fact(int n) {
+  if (n <= 1) { return 1; }
+  return n * fact(n - 1);
+}
+int main() { printf("%d", fact(10)); return 0; }
+'''
+
+    MUTUAL = r'''
+int is_odd(int n);
+int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }
+int main() { printf("%d%d", is_even(10), is_odd(10)); return 0; }
+'''
+
+    @pytest.mark.parametrize("opt", [0, 3])
+    def test_recursion(self, opt):
+        res = compile_and_run(self.RECURSION, opt_level=opt)
+        assert res.stdout == b"3628800"
+
+    @pytest.mark.parametrize("opt", [0, 3])
+    def test_six_args(self, opt):
+        src = ("int f(int a, int b, int c, int d, int e, int g) "
+               "{ return a + 2*b + 3*c + 4*d + 5*e + 6*g; } "
+               "int main() { printf(\"%d\", f(1,2,3,4,5,6)); return 0; }")
+        res = compile_and_run(src, opt_level=opt)
+        assert res.stdout == b"91"
+
+    def test_seventh_arg_rejected(self):
+        src = ("int f(int a, int b, int c, int d, int e, int g, int h) "
+               "{ return 0; } int main() { return f(1,2,3,4,5,6,7); }")
+        with pytest.raises(CodegenError):
+            compile_minic(src)
+
+    @pytest.mark.parametrize("opt", [0, 3])
+    def test_function_pointer_call(self, opt):
+        src = r'''
+int twice(int x) { return 2 * x; }
+int thrice(int x) { return 3 * x; }
+int main() {
+  int table[2];
+  table[0] = (int)twice;
+  table[1] = (int)thrice;
+  int f = table[1];
+  printf("%d", f(7));
+  return 0;
+}
+'''
+        res = compile_and_run(src, opt_level=opt)
+        assert res.stdout == b"21"
+
+
+class TestVectorizer:
+    SOURCE = r'''
+int32 a[100];
+int32 b[100];
+int32 c[100];
+int main() {
+  int i;
+  for (i = 0; i < 100; i += 1) { a[i] = i; b[i] = 2 * i; }
+  for (i = 0; i < 100; i += 1) { c[i] = a[i] + b[i]; }
+  int s = 0;
+  for (i = 0; i < 100; i += 1) { s += c[i]; }
+  int d = 0;
+  for (i = 0; i < 100; i += 1) { d += a[i] * b[i]; }
+  printf("%d %d", s, d);
+  return 0;
+}
+'''
+
+    def test_vectorized_matches_scalar(self):
+        vec = run_image(compile_minic(self.SOURCE, opt_level=3,
+                                      vectorize=True))
+        scalar = run_image(compile_minic(self.SOURCE, opt_level=3,
+                                         vectorize=False))
+        o0 = run_image(compile_minic(self.SOURCE, opt_level=0))
+        assert vec.stdout == scalar.stdout == o0.stdout
+
+    def test_vectorized_uses_simd(self):
+        from repro.isa import decode
+        image = compile_minic(self.SOURCE, opt_level=3, vectorize=True)
+        text = image.section(".text")
+        found_simd = False
+        addr = text.addr
+        while addr < text.end:
+            try:
+                instr, size = decode(text.data, addr - text.addr, addr)
+            except Exception:
+                addr += 1
+                continue
+            if instr.is_simd:
+                found_simd = True
+                break
+            addr += size
+        assert found_simd
+
+    def test_vectorized_is_faster(self):
+        vec = run_image(compile_minic(self.SOURCE, opt_level=3,
+                                      vectorize=True))
+        scalar = run_image(compile_minic(self.SOURCE, opt_level=3,
+                                         vectorize=False))
+        assert vec.total_cycles < scalar.total_cycles
+
+
+class TestAtomicBuiltins:
+    @pytest.mark.parametrize("opt", [0, 3])
+    @pytest.mark.parametrize("expr,expected", [
+        ("__sync_fetch_and_add(&g, 5)", b"0 5"),
+        ("__sync_add_and_fetch(&g, 5)", b"5 5"),
+        ("__sync_fetch_and_sub(&g, 3)", b"0 -3"),
+        ("__sync_sub_and_fetch(&g, 3)", b"-3 -3"),
+        ("__sync_lock_test_and_set(&g, 9)", b"0 9"),
+        ("__sync_val_compare_and_swap(&g, 0, 7)", b"0 7"),
+        ("__sync_val_compare_and_swap(&g, 1, 7)", b"0 0"),
+        ("__sync_bool_compare_and_swap(&g, 0, 7)", b"1 7"),
+        ("__sync_fetch_and_or(&g, 6)", b"0 6"),
+        ("__sync_fetch_and_xor(&g, 6)", b"0 6"),
+        ("__atomic_load_n(&g)", b"0 0"),
+    ])
+    def test_builtin(self, expr, expected, opt):
+        src = ("int g; int main() { int old = %s; "
+               "printf(\"%%d %%d\", old, g); return 0; }" % expr)
+        res = compile_and_run(src, opt_level=opt)
+        assert res.stdout == expected, expr
+
+    @pytest.mark.parametrize("opt", [0, 3])
+    def test_atomics_on_int32(self, opt):
+        src = r'''
+int32 g;
+int main() {
+  __sync_fetch_and_add(&g, 2147483647);
+  __sync_fetch_and_add(&g, 1);
+  printf("%d", g);
+  return 0;
+}
+'''
+        res = compile_and_run(src, opt_level=opt)
+        assert res.stdout == b"-2147483648"
+
+
+# -- O0/O3 equivalence property over random expressions ------------------------------
+
+@st.composite
+def _expr(draw, depth=0):
+    if depth > 3 or draw(st.booleans()):
+        return str(draw(st.integers(0, 99)))
+    op = draw(st.sampled_from(["+", "-", "*", "/", "%", "&", "|", "^"]))
+    left = draw(_expr(depth=depth + 1))
+    right = draw(_expr(depth=depth + 1))
+    if op in ("/", "%"):
+        right = f"({right} + 101)"   # avoid division by zero
+    return f"({left} {op} {right})"
+
+
+@given(_expr())
+@settings(max_examples=25, deadline=None)
+def test_o0_o3_agree_on_random_expressions(expr):
+    source = f'int main() {{ printf("%d", {expr}); return 0; }}'
+    o0 = compile_and_run(source, opt_level=0)
+    o3 = compile_and_run(source, opt_level=3)
+    assert o0.ok and o3.ok
+    assert o0.stdout == o3.stdout

