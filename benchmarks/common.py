@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core import (ICFTTracer, Recompiler, discover_callbacks,
                         optimize_fences, run_image)
+from repro.observability import Tracer
 from repro.workloads import Workload
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -57,14 +58,16 @@ def hybrid_recompile(workload: Workload, opt_level: int,
                      size: Optional[str] = None, seed: int = 21,
                      fence_opt: bool = False,
                      manual_overrides: Optional[set] = None,
-                     with_callbacks: bool = True):
+                     with_callbacks: bool = True,
+                     tracer: Optional[Tracer] = None):
     """The paper's full Polynima configuration: static CFG + ICFT trace
     + callback analysis (+ optional fence optimisation).  Returns the
-    final RecompileResult."""
+    final RecompileResult.  Pass a ``tracer`` to collect the pipeline's
+    stage spans (exportable as a Chrome trace)."""
     image = workload.compile(opt_level=opt_level)
     trace = ICFTTracer(image).trace(
         lambda _x: workload.library(size), inputs=[None], seed=seed)
-    recompiler = Recompiler(image)
+    recompiler = Recompiler(image, tracer=tracer)
     cfg = recompiler.recover_cfg(trace=trace)
     observed = None
     if with_callbacks:
@@ -77,9 +80,29 @@ def hybrid_recompile(workload: Workload, opt_level: int,
             observed_callbacks=observed,
             manual_overrides=manual_overrides)
         return report.result, report
-    result = Recompiler(image, observed_callbacks=observed) \
-        .recompile(cfg=cfg)
+    result = Recompiler(image, observed_callbacks=observed,
+                        tracer=tracer).recompile(cfg=cfg)
     return result, None
+
+
+def stage_breakdown(result) -> Dict[str, float]:
+    """Per-stage seconds for a RecompileResult, read from its tracer's
+    top-level ``recompile.*`` spans (identical to the derived
+    ``RecompileStats`` view; used by the lifting-time tables)."""
+    if result.tracer is not None:
+        return result.tracer.stage_seconds()
+    return result.stats.stage_seconds()
+
+
+#: The emulator counters every benchmark reports alongside runtimes.
+KEY_COUNTERS = ("emu.instructions", "emu.atomic_rmws", "emu.fences",
+                "emu.context_switches", "emu.threads")
+
+
+def counter_summary(run) -> Dict[str, float]:
+    """The headline emulator perf counters of a RunResult — the numbers
+    benches used to re-derive by hand from cycles/stdout."""
+    return {name: run.counters.get(name, 0) for name in KEY_COUNTERS}
 
 
 def normalized_runtime(workload: Workload, result, opt_level: int,
@@ -94,6 +117,10 @@ def normalized_runtime(workload: Workload, result, opt_level: int,
     assert recompiled.matches(original), \
         (f"{workload.name} O{opt_level}: output mismatch "
          f"({recompiled.fault} {recompiled.stdout[:40]!r})")
+    # Consistency between the scalar fields and the counter registry is
+    # a cheap invariant every benchmark run re-checks for free.
+    assert recompiled.counters.get("emu.wall_cycles") == \
+        recompiled.wall_cycles
     return recompiled.wall_cycles / original.wall_cycles
 
 

@@ -1,0 +1,91 @@
+"""Observability smoke check: trace one Phoenix recompile end-to-end.
+
+Recompiles the Phoenix ``histogram`` workload with tracing enabled,
+exports the Chrome trace, and validates that
+
+* the file is schema-valid (``Tracer.validate_chrome_trace``);
+* it round-trips through ``Tracer.from_chrome_trace``;
+* the top-level stage spans sum to within 5% of
+  ``RecompileStats.total_seconds`` (they are the same measurements, so
+  in practice they agree exactly);
+* the recompiled binary still matches the original and its run
+  publishes the emulator perf counters.
+
+Runs under pytest (marker ``trace_smoke``) and as a script::
+
+    PYTHONPATH=src python benchmarks/smoke_trace.py [trace.json]
+"""
+
+import json
+import os
+import sys
+import tempfile
+
+import pytest
+
+from repro.core import run_image
+from repro.observability import Tracer
+from repro.workloads import get as get_workload
+
+from common import counter_summary, hybrid_recompile, normalized_runtime
+
+pytestmark = pytest.mark.trace_smoke
+
+WORKLOAD = "histogram"
+SIZE = "small"
+OPT_LEVEL = 2
+
+
+def run_smoke(trace_path: str) -> dict:
+    """Recompile + validate; returns a summary dict for the CLI user."""
+    workload = get_workload(WORKLOAD)
+    tracer = Tracer()
+    result, _ = hybrid_recompile(workload, OPT_LEVEL, size=SIZE,
+                                 tracer=tracer)
+    tracer.save(trace_path)
+
+    with open(trace_path) as handle:
+        data = json.load(handle)
+    Tracer.validate_chrome_trace(data)
+    reloaded = Tracer.from_chrome_trace(data)
+    assert len(reloaded.spans) == sum(
+        1 for sp in tracer.spans if sp.closed)
+
+    stages = reloaded.stage_seconds()
+    total = result.stats.total_seconds
+    stage_sum = sum(stages.values())
+    assert total > 0
+    assert abs(stage_sum - total) <= 0.05 * total, \
+        f"stage spans sum {stage_sum:.4f}s vs stats {total:.4f}s"
+
+    ratio = normalized_runtime(workload, result, OPT_LEVEL, size=SIZE)
+    run = run_image(result.image, library=workload.library(SIZE), seed=21)
+    counters = counter_summary(run)
+    assert counters["emu.instructions"] > 0
+    assert counters["emu.threads"] >= 2       # multithreaded workload
+    return {"trace": trace_path, "spans": len(reloaded.spans),
+            "stages": stages, "total_seconds": total,
+            "normalized_runtime": ratio, "counters": counters}
+
+
+def test_smoke_trace(tmp_path):
+    summary = run_smoke(os.path.join(str(tmp_path), "trace.json"))
+    assert summary["spans"] >= len(summary["stages"])
+
+
+def main(argv) -> int:
+    path = argv[1] if len(argv) > 1 else os.path.join(
+        tempfile.gettempdir(), "polynima_smoke_trace.json")
+    summary = run_smoke(path)
+    print(f"trace OK: {summary['spans']} spans -> {summary['trace']}")
+    for stage, seconds in summary["stages"].items():
+        print(f"  {stage:<8} {seconds * 1e3:8.2f} ms")
+    print(f"  total    {summary['total_seconds'] * 1e3:8.2f} ms")
+    print(f"normalized runtime: {summary['normalized_runtime']:.3f}")
+    for name, value in summary["counters"].items():
+        print(f"  {name:<24} {value:,}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

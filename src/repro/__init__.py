@@ -44,4 +44,7 @@ def __getattr__(name):
     if name == "run_image":
         from .core.runner import run_image
         return run_image
+    if name in ("Tracer", "Counters"):
+        from . import observability
+        return getattr(observability, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

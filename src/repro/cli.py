@@ -12,20 +12,25 @@ Subcommands::
     polynima trace    <prog.vxe> --cfg cfg.json         # ICFT tracer
     polynima lift     <prog.vxe> [--cfg cfg.json]       # print lifted IR
     polynima recompile <prog.vxe> -o out.vxe [--additive] [--fence-opt]
+                       [--trace-out trace.json]         # Chrome trace
+    polynima stats    <prog.vxe> [--json out.json]      # emulator counters
     polynima workloads [--group phoenix]                # list benchmarks
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from .binfmt import Image
 from .core import (AdditiveLifting, Disassembler, ICFTTracer, Lifter,
                    Recompiler, make_library, optimize_fences, run_image)
+from .emulator import EmulationFault, Machine
 from .ir import format_module
 from .minicc import compile_minic
+from .observability import Tracer
 
 
 def _library_from_args(args) -> object:
@@ -114,9 +119,11 @@ def cmd_lift(args) -> int:
 def cmd_recompile(args) -> int:
     """``polynima recompile``: produce the standalone replacement binary."""
     image = Image.load(args.binary)
+    tracer = Tracer()
     if args.fence_opt:
-        report = optimize_fences(image, lambda: _library_from_args(args),
-                                 seed=args.seed)
+        with tracer.span("recompile.fence_opt"):
+            report = optimize_fences(image, lambda: _library_from_args(args),
+                                     seed=args.seed)
         result = report.result
         print(f"fence optimisation "
               f"{'applied' if report.applied else 'NOT applied'} "
@@ -124,20 +131,47 @@ def cmd_recompile(args) -> int:
               f"{report.spinloops.count('non-spinning')} non-spinning, "
               f"{report.spinloops.count('uncovered')} uncovered loops)")
     elif args.additive:
-        lifting = AdditiveLifting(Recompiler(image))
+        lifting = AdditiveLifting(Recompiler(image, tracer=tracer))
         report = lifting.run(lambda: _library_from_args(args),
                              seed=args.seed)
         result = report.result
         print(f"additive lifting: {report.recompile_loops} recompilation "
               f"loops, {report.total_seconds:.2f}s")
     else:
-        result = Recompiler(image).recompile()
+        result = Recompiler(image, tracer=tracer).recompile()
     result.image.save(args.output)
+    if args.trace_out:
+        trace_source = result.tracer or tracer
+        trace_source.save(args.trace_out)
+        print(f"wrote {args.trace_out} "
+              f"({len(trace_source.spans)} spans)")
     stats = result.stats
     print(f"wrote {args.output}: {stats.functions} functions, "
           f"{stats.blocks} blocks, {stats.icfts} ICFTs, "
           f"{stats.fences_final} fences, {stats.total_seconds:.2f}s")
     return 0
+
+
+def cmd_stats(args) -> int:
+    """``polynima stats``: run a binary and print emulator perf counters."""
+    image = Image.load(args.binary)
+    machine = Machine(image, _library_from_args(args), seed=args.seed,
+                      profile_registers=args.profile_regs)
+    try:
+        machine.run()
+    except EmulationFault as exc:
+        print(f"[fault] {exc}", file=sys.stderr)
+    counters = machine.perf_counters()
+    sys.stdout.write(machine.stdout.decode("latin1"))
+    if machine.stdout and not machine.stdout.endswith(b"\n"):
+        print()
+    print(f"--- emulator counters ({args.binary}, seed {args.seed}) ---")
+    print(counters.format_table())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(counters.snapshot(), handle, indent=1, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0 if machine.fault is None else 1
 
 
 def cmd_workloads(args) -> int:
@@ -200,8 +234,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the additive-lifting loop against the input")
     p.add_argument("--fence-opt", action="store_true",
                    help="run the §3.4 fence-removal analysis")
+    p.add_argument("--trace-out", metavar="TRACE.json",
+                   help="write a Chrome-trace JSON of the pipeline "
+                        "stages (open in chrome://tracing or Perfetto)")
     common_run_args(p)
     p.set_defaults(func=cmd_recompile)
+
+    p = sub.add_parser("stats", help="run a binary and print emulator "
+                                     "perf counters")
+    p.add_argument("binary")
+    p.add_argument("--json", help="also dump the counters as JSON here")
+    p.add_argument("--profile-regs", action="store_true",
+                   help="count per-thread register-file traffic "
+                        "(slower emulation)")
+    common_run_args(p)
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("workloads", help="list benchmark workloads")
     p.add_argument("--group")

@@ -3,18 +3,22 @@
 ``Recompiler`` wires the stages together: static CFG recovery →
 optional ICFT-trace augmentation → lifting → fence insertion →
 optional instrumentation → optimisation → lowering → output image.
-Timing of each stage is recorded so the lifting-time experiments
-(Table 4, Figure 4) can be regenerated.
+Every stage runs inside a ``recompile.<stage>`` span on the driver's
+:class:`~repro.observability.Tracer`, so the lifting-time experiments
+(Table 4, Figure 4) can be regenerated and individual recompilations
+profiled in ``chrome://tracing`` (see ``docs/OBSERVABILITY.md``).
+:class:`RecompileStats` is a *derived view* of those spans, kept for
+ergonomic access to the stage timings and size counters.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from ..binfmt import Image
 from ..ir import Module
+from ..observability import Counters, Tracer
 from ..passes import Inliner, PassManager, standard_pipeline
 from .cfg import RecoveredCFG
 from .disassembler import Disassembler
@@ -25,13 +29,34 @@ from .instrument import AccessInstrumentation, tag_sites
 from .lifter import Lifter
 from .runtime import RecompiledBinaryBuilder
 
+#: Pipeline stage names, in execution order.  Span names are
+#: ``recompile.<stage>``; ``RecompileStats`` has one ``<stage>_seconds``
+#: field per entry (``fences`` maps to ``fence_seconds``).
+STAGES = ("disasm", "trace", "lift", "fences", "opt", "lower")
+
+#: Span-name suffix -> RecompileStats field.
+_STAGE_FIELDS = {
+    "disasm": "disasm_seconds",
+    "trace": "trace_seconds",
+    "lift": "lift_seconds",
+    "fences": "fence_seconds",
+    "opt": "opt_seconds",
+    "lower": "lower_seconds",
+}
+
 
 @dataclass
 class RecompileStats:
-    """Timing and size counters for one recompilation."""
+    """Timing and size counters for one recompilation.
+
+    The ``*_seconds`` fields are derived from the driver tracer's
+    top-level ``recompile.<stage>`` spans (:meth:`apply_span`), so the
+    flat stats and any exported Chrome trace always agree.
+    """
     disasm_seconds: float = 0.0
     trace_seconds: float = 0.0
     lift_seconds: float = 0.0
+    fence_seconds: float = 0.0
     opt_seconds: float = 0.0
     lower_seconds: float = 0.0
     functions: int = 0
@@ -42,18 +67,38 @@ class RecompileStats:
 
     @property
     def total_seconds(self) -> float:
-        """Lift + optimise + lower, in seconds."""
+        """End-to-end pipeline wall time: disassembly + trace merge +
+        lift + fence insertion + optimise + lower, in seconds."""
         return (self.disasm_seconds + self.trace_seconds +
-                self.lift_seconds + self.opt_seconds + self.lower_seconds)
+                self.lift_seconds + self.fence_seconds +
+                self.opt_seconds + self.lower_seconds)
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Stage name -> seconds, in pipeline order (the same shape as
+        ``Tracer.stage_seconds('recompile.')``)."""
+        return {stage: getattr(self, _STAGE_FIELDS[stage])
+                for stage in STAGES}
+
+    def apply_span(self, span) -> None:
+        """Accumulate one closed ``recompile.<stage>`` span into the
+        matching ``*_seconds`` field."""
+        prefix = "recompile."
+        if not span.name.startswith(prefix):
+            return
+        attr = _STAGE_FIELDS.get(span.name[len(prefix):])
+        if attr is not None:
+            setattr(self, attr, getattr(self, attr) + span.duration)
 
 
 @dataclass
 class RecompileResult:
-    """Everything a recompilation produced: image, module, CFG, stats."""
+    """Everything a recompilation produced: image, module, CFG, stats,
+    and the tracer that observed the pipeline."""
     image: Image
     module: Module
     cfg: RecoveredCFG
     stats: RecompileStats
+    tracer: Optional[Tracer] = None
 
 
 class Recompiler:
@@ -74,7 +119,11 @@ class Recompiler:
       variant used by the fence optimisation's dynamic analysis;
     * ``record_entries``: build the callback-recording variant;
     * ``lazy_flags`` / ``fence_stack_exemption``: ablation toggles for
-      the compare-fusion and emulated-stack fence exemptions.
+      the compare-fusion and emulated-stack fence exemptions;
+    * ``tracer`` / ``counters``: the observability sinks.  A private
+      :class:`Tracer` is created when none is given, so stats are
+      always span-derived; pass your own to export the trace
+      (``polynima recompile --trace-out``).
     """
 
     def __init__(self, image: Image, atomic_mode: str = "builtin",
@@ -86,7 +135,9 @@ class Recompiler:
                  miss_mode: str = "runtime",
                  enter_import: str = "__poly_enter",
                  lazy_flags: bool = True,
-                 fence_stack_exemption: bool = True) -> None:
+                 fence_stack_exemption: bool = True,
+                 tracer: Optional[Tracer] = None,
+                 counters: Optional[Counters] = None) -> None:
         self.image = image
         self.atomic_mode = atomic_mode
         self.insert_fences = insert_fences
@@ -98,6 +149,8 @@ class Recompiler:
         self.enter_import = enter_import
         self.lazy_flags = lazy_flags
         self.fence_stack_exemption = fence_stack_exemption
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.counters = counters
 
     # -- CFG recovery -----------------------------------------------------------
 
@@ -106,20 +159,25 @@ class Recompiler:
                     stats: Optional[RecompileStats] = None) -> RecoveredCFG:
         """Recover control flow statically, merging optional trace/seed CFGs."""
         stats = stats or RecompileStats()
-        started = time.perf_counter()
         if trace is not None:
-            scratch = RecoveredCFG() if seed_cfg is None else seed_cfg
-            trace.apply_to(scratch)
-            seed_cfg = scratch
-        disasm = Disassembler(self.image)
-        extra: Set[int] = set()
-        if seed_cfg is not None:
-            # Indirect-call targets recorded dynamically are function
-            # entry points.
-            for site, targets in seed_cfg.indirect_targets.items():
-                extra.update(targets)
-        cfg = disasm.recover(extra_entries=extra, seed_cfg=seed_cfg)
-        stats.disasm_seconds += time.perf_counter() - started
+            with self.tracer.span("recompile.trace",
+                                  icfts=trace.total_icfts) as span:
+                scratch = RecoveredCFG() if seed_cfg is None else seed_cfg
+                trace.apply_to(scratch)
+                seed_cfg = scratch
+            stats.apply_span(span)
+        with self.tracer.span("recompile.disasm") as span:
+            disasm = Disassembler(self.image)
+            extra: Set[int] = set()
+            if seed_cfg is not None:
+                # Indirect-call targets recorded dynamically are function
+                # entry points.
+                for site, targets in seed_cfg.indirect_targets.items():
+                    extra.update(targets)
+            cfg = disasm.recover(extra_entries=extra, seed_cfg=seed_cfg)
+            span.args.update(functions=len(cfg.functions),
+                             blocks=cfg.total_blocks())
+        stats.apply_span(span)
         return cfg
 
     # -- full pipeline -----------------------------------------------------------------
@@ -134,45 +192,57 @@ class Recompiler:
         stats.blocks = cfg.total_blocks()
         stats.icfts = cfg.total_icfts()
 
-        started = time.perf_counter()
-        lifter = Lifter(self.image, cfg, atomic_mode=self.atomic_mode,
-                        miss_mode=self.miss_mode, lazy_flags=self.lazy_flags)
-        module = lifter.lift()
-        stats.lift_seconds = time.perf_counter() - started
+        with self.tracer.span("recompile.lift",
+                              functions=stats.functions,
+                              blocks=stats.blocks) as span:
+            lifter = Lifter(self.image, cfg, atomic_mode=self.atomic_mode,
+                            miss_mode=self.miss_mode,
+                            lazy_flags=self.lazy_flags)
+            module = lifter.lift()
+        stats.apply_span(span)
 
-        started = time.perf_counter()
-        if self.insert_fences:
-            FenceInsertion(
-                exempt_stack=self.fence_stack_exemption).run_module(module)
-            FenceMerge().run_module(module)
-            stats.fences_inserted = count_fences(module)
-        # Stable access-site identities must be fixed before any
-        # optimisation so instrumented and production builds agree.
-        tag_sites(module)
-        if self.observed_callbacks is not None:
-            self._apply_callback_analysis(module)
-        if self.instrument_accesses:
-            AccessInstrumentation().run_module(module)
-        if self.optimize:
-            standard_pipeline().run(module)
+        with self.tracer.span("recompile.fences") as span:
+            if self.insert_fences:
+                FenceInsertion(
+                    exempt_stack=self.fence_stack_exemption).run_module(module)
+                FenceMerge().run_module(module)
+                stats.fences_inserted = count_fences(module)
+            span.args["fences_inserted"] = stats.fences_inserted
+        stats.apply_span(span)
+
+        with self.tracer.span("recompile.opt",
+                              enabled=self.optimize) as span:
+            # Stable access-site identities must be fixed before any
+            # optimisation so instrumented and production builds agree.
+            tag_sites(module)
             if self.observed_callbacks is not None:
-                Inliner(max_blocks=8, respect_visibility=True) \
-                    .run_module(module)
-                standard_pipeline().run(module)
-        stats.fences_final = count_fences(module)
-        stats.opt_seconds = time.perf_counter() - started
+                self._apply_callback_analysis(module)
+            if self.instrument_accesses:
+                AccessInstrumentation().run_module(module)
+            if self.optimize:
+                standard_pipeline(tracer=self.tracer,
+                                  counters=self.counters).run(module)
+                if self.observed_callbacks is not None:
+                    with self.tracer.span("opt.inline"):
+                        Inliner(max_blocks=8, respect_visibility=True) \
+                            .run_module(module)
+                    standard_pipeline(tracer=self.tracer,
+                                      counters=self.counters).run(module)
+            stats.fences_final = count_fences(module)
+            span.args["fences_final"] = stats.fences_final
+        stats.apply_span(span)
 
-        started = time.perf_counter()
-        scrub = [(block.start, block.end)
-                 for fn in cfg.functions.values()
-                 for block in fn.blocks.values()]
-        builder = RecompiledBinaryBuilder(
-            module, self.image, record_entries=self.record_entries,
-            scrub_blocks=scrub, enter_import=self.enter_import)
-        image = builder.build()
-        stats.lower_seconds = time.perf_counter() - started
+        with self.tracer.span("recompile.lower") as span:
+            scrub = [(block.start, block.end)
+                     for fn in cfg.functions.values()
+                     for block in fn.blocks.values()]
+            builder = RecompiledBinaryBuilder(
+                module, self.image, record_entries=self.record_entries,
+                scrub_blocks=scrub, enter_import=self.enter_import)
+            image = builder.build()
+        stats.apply_span(span)
         return RecompileResult(image=image, module=module, cfg=cfg,
-                               stats=stats)
+                               stats=stats, tracer=self.tracer)
 
     def _apply_callback_analysis(self, module: Module) -> None:
         """Unmark functions never observed as external entry points

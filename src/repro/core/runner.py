@@ -23,6 +23,9 @@ class RunResult:
     access_log: Dict[str, set] = field(default_factory=dict)
     entry_log: set = field(default_factory=set)
     net_sent: List[bytes] = field(default_factory=list)
+    #: Emulator perf-counter snapshot (``Machine.perf_counters()``),
+    #: keyed by the dotted names in docs/OBSERVABILITY.md.
+    counters: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -50,12 +53,14 @@ def run_image(image: Image, input_blob: bytes = b"",
               omp_threads: int = 4, seed: int = 0, cores: int = 4,
               max_cycles: int = 200_000_000,
               library: Optional[ExternalLibrary] = None,
-              catch_faults: bool = True) -> RunResult:
+              catch_faults: bool = True,
+              profile_registers: bool = False) -> RunResult:
     """Run a VXE image under the stock environment and collect results."""
     if library is None:
         library = make_library(input_blob, params, fs, net_script,
                                omp_threads)
-    machine = Machine(image, library, seed=seed, cores=cores)
+    machine = Machine(image, library, seed=seed, cores=cores,
+                      profile_registers=profile_registers)
     fault: Optional[EmulationFault] = None
     exit_code = -1
     try:
@@ -75,4 +80,5 @@ def run_image(image: Image, input_blob: bytes = b"",
         access_log=dict(library.poly_access_log),
         entry_log=set(library.poly_entry_log),
         net_sent=[bytes(b) for b in library.net_sent],
+        counters=machine.perf_counters().snapshot(),
     )

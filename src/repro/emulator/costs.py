@@ -36,3 +36,32 @@ LOCK_COST = 16
 
 #: Fixed dispatch cost of a call through an import stub (PLT-like).
 EXTERNAL_CALL_COST = 8
+
+#: Perf-counter instruction classes (``emu.cycles.<class>`` counters).
+#: Every BASE_COSTS mnemonic maps to exactly one class; external calls
+#: are accounted separately under the synthetic class "external".
+INSTR_CLASS_NAMES = ("mov", "alu", "branch", "atomic", "fence", "simd",
+                     "misc", "external")
+
+_CLASS_PATTERNS = {
+    "mov": {"mov", "movsx", "lea", "push", "pop"},
+    "atomic": {"xchg", "cmpxchg", "xadd"},
+    "fence": {"mfence"},
+    "branch": {"jmp", "call", "ret", "je", "jne", "jl", "jle", "jg", "jge",
+               "jb", "jbe", "ja", "jae", "js", "jns"},
+    "simd": {"movdq", "paddd", "psubd", "pmulld", "pxor", "pextrd",
+             "pinsrd", "pbroadcastd"},
+    "misc": {"nop", "hlt", "ud2", "rdtls"},
+}
+
+
+def classify(mnemonic: str) -> str:
+    """The perf-counter class of a mnemonic (default: "alu")."""
+    for name, members in _CLASS_PATTERNS.items():
+        if mnemonic in members:
+            return name
+    return "alu"
+
+
+#: mnemonic -> class, precomputed for the interpreter's hot loop.
+INSTR_CLASS = {mnemonic: classify(mnemonic) for mnemonic in BASE_COSTS}

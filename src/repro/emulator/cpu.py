@@ -61,3 +61,34 @@ class CpuState:
             "pc": self.pc,
             "tls_base": self.tls_base,
         }
+
+
+class ProfiledCpuState(CpuState):
+    """A :class:`CpuState` that counts register-file traffic.
+
+    Used when the machine is built with ``profile_registers=True``
+    (``polynima stats --profile-regs``): every GPR read/write is
+    tallied so register pressure shows up in the perf counters
+    (``emu.thread.<tid>.reg_reads`` / ``reg_writes``).  Kept out of
+    the default :class:`CpuState` so the interpreter's hot loop pays
+    nothing when profiling is off.
+    """
+
+    __slots__ = ("reg_reads", "reg_writes")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.reg_reads = 0
+        self.reg_writes = 0
+
+    def get(self, index: int) -> int:
+        self.reg_reads += 1
+        return self.regs[index]
+
+    def set(self, index: int, value: int) -> None:
+        self.reg_writes += 1
+        self.regs[index] = value & U64
+
+    def get_signed(self, index: int) -> int:
+        self.reg_reads += 1
+        return super().get_signed(index)

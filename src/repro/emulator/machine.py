@@ -22,9 +22,10 @@ from ..binfmt import IMPORT_STUB_BASE, Image
 from ..isa import decode
 from ..isa.instructions import Imm, Instruction, Mem
 from ..isa.registers import Reg
-from .costs import (BASE_COSTS, EXTERNAL_CALL_COST, LOCK_COST,
-                    MEMORY_ACCESS_COST)
-from .cpu import CpuState, U64
+from ..observability import Counters
+from .costs import (BASE_COSTS, EXTERNAL_CALL_COST, INSTR_CLASS,
+                    INSTR_CLASS_NAMES, LOCK_COST, MEMORY_ACCESS_COST)
+from .cpu import CpuState, ProfiledCpuState, U64
 from .memory import Memory, MemoryFault
 
 #: Magic return addresses recognised by the interpreter.
@@ -88,7 +89,8 @@ class Machine:
     """Interprets a VXE image with full multithreading support."""
 
     def __init__(self, image: Image, library=None, seed: int = 0,
-                 cores: int = 4, quantum: int = 40) -> None:
+                 cores: int = 4, quantum: int = 40,
+                 profile_registers: bool = False) -> None:
         self.image = image
         self.memory = Memory()
         self.seed = seed
@@ -103,6 +105,16 @@ class Machine:
         self.total_cycles = 0
         self.wall_cycles = 0.0
         self.instructions = 0
+        # Perf counters (published via perf_counters()).  Plain ints /
+        # one dict increment per step keep the hot loop cheap; the
+        # register-traffic counters cost more and are opt-in.
+        self.atomic_rmws = 0
+        self.fences_executed = 0
+        self.context_switches = 0
+        self.cycles_by_class: Dict[str, int] = {
+            name: 0 for name in INSTR_CLASS_NAMES}
+        self.profile_registers = profile_registers
+        self._cpu_cls = ProfiledCpuState if profile_registers else CpuState
         self._decode_cache: Dict[int, Tuple[Instruction, int]] = {}
         self._next_stack_top = STACK_AREA_TOP
         self._next_tid = 0
@@ -138,7 +150,7 @@ class Machine:
 
     def _spawn(self, entry: int, args: Tuple[int, ...],
                magic_ret: int) -> ThreadContext:
-        cpu = CpuState()
+        cpu = self._cpu_cls()
         top = self._alloc_stack()
         # 16-byte aligned stack with the magic return address on top,
         # preserving the ISA-mandated alignment the paper relies on for
@@ -203,9 +215,12 @@ class Machine:
                 raise self.fault
             if current is None or budget <= 0 or \
                     current.state != ThreadContext.RUNNABLE:
+                previous = current
                 current = self._pick_thread()
                 if current is None:
                     break
+                if previous is not None and current is not previous:
+                    self.context_switches += 1
                 budget = self.quantum + self.rng.randrange(self.quantum)
             try:
                 cost = self._step(current)
@@ -221,6 +236,35 @@ class Machine:
                            if t.state == ThreadContext.RUNNABLE)
             self.wall_cycles += cost / max(1, min(runnable, self.cores))
         return self.exit_code
+
+    # -- perf counters --------------------------------------------------------
+
+    def perf_counters(self) -> Counters:
+        """Publish the machine's perf counters into a fresh
+        :class:`~repro.observability.Counters` registry.
+
+        Built on demand from the plain attribute counters the hot loop
+        maintains, so each call returns an independent snapshot and
+        successive runs never share state (naming conventions in
+        ``docs/OBSERVABILITY.md``)."""
+        counters = Counters()
+        counters.put("emu.instructions", self.instructions)
+        counters.put("emu.cycles", self.total_cycles)
+        counters.put("emu.wall_cycles", self.wall_cycles)
+        counters.put("emu.atomic_rmws", self.atomic_rmws)
+        counters.put("emu.fences", self.fences_executed)
+        counters.put("emu.context_switches", self.context_switches)
+        counters.put("emu.threads", len(self.threads))
+        for name in INSTR_CLASS_NAMES:
+            counters.put(f"emu.cycles.{name}", self.cycles_by_class[name])
+        for thread in self.threads:
+            base = f"emu.thread.{thread.tid}"
+            counters.put(f"{base}.instructions", thread.instructions)
+            counters.put(f"{base}.cycles", thread.cycles)
+            if isinstance(thread.cpu, ProfiledCpuState):
+                counters.put(f"{base}.reg_reads", thread.cpu.reg_reads)
+                counters.put(f"{base}.reg_writes", thread.cpu.reg_writes)
+        return counters
 
     def _pick_thread(self) -> Optional[ThreadContext]:
         runnable = [t for t in self.threads if t.state == ThreadContext.RUNNABLE]
@@ -269,6 +313,7 @@ class Machine:
         if instr.lock or (instr.mnemonic == "xchg"
                           and any(isinstance(op, Mem) for op in instr.operands)):
             cost += LOCK_COST
+            self.atomic_rmws += 1
         cost += MEMORY_ACCESS_COST * sum(
             1 for op in instr.operands if isinstance(op, Mem))
         cpu.pc = pc + size
@@ -278,6 +323,7 @@ class Machine:
         thread.instructions += 1
         self.total_cycles += cost
         self.instructions += 1
+        self.cycles_by_class[INSTR_CLASS[instr.mnemonic]] += cost
         return cost
 
     def _thread_returned(self, thread: ThreadContext, magic: int) -> None:
@@ -339,6 +385,7 @@ class Machine:
         cost = EXTERNAL_CALL_COST + self.library.cost(name)
         thread.cycles += cost
         self.total_cycles += cost
+        self.cycles_by_class["external"] += cost
         if result is not None:
             cpu.set(RAX, result & U64)
         if thread.state == ThreadContext.RUNNABLE and not self.exited:
@@ -679,7 +726,8 @@ class Machine:
         self._write_operand(cpu, src, a, instr.width)
 
     def _op_mfence(self, thread, instr) -> None:
-        pass  # TSO is never violated by this interpreter; cost only.
+        # TSO is never violated by this interpreter; cost + count only.
+        self.fences_executed += 1
 
     # -- SIMD -----------------------------------------------------------------
 

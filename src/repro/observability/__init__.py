@@ -1,0 +1,22 @@
+"""Unified observability: stage tracing, counter registry, exporters.
+
+The measurement substrate for the whole reproduction (the paper's
+evaluation is *all* measurement — lifting times in Table 4/Figure 4,
+fence counts, normalised runtimes):
+
+* :class:`Tracer` / :class:`Span` — nested wall-clock spans with a
+  Chrome-trace JSON exporter; threaded through the recompiler pipeline
+  and pass manager.
+* :class:`Counters` — a flat named-counter registry; the emulator
+  publishes per-run perf counters (instructions retired, atomic RMWs,
+  fences, context switches, cycles by instruction class) into it.
+
+Naming conventions and file formats are documented in
+``docs/OBSERVABILITY.md``; the architecture walk-through is in
+``docs/ARCHITECTURE.md``.
+"""
+
+from .counters import Counters
+from .tracer import Span, TRACE_FORMAT, Tracer
+
+__all__ = ["Counters", "Span", "TRACE_FORMAT", "Tracer"]

@@ -1,0 +1,91 @@
+"""A flat, named counter registry shared by the emulator and passes.
+
+Counters are dotted names (``emu.atomic_rmws``, ``pass.dce.seconds``;
+conventions in ``docs/OBSERVABILITY.md``) mapping to numbers.  The
+registry is deliberately dumb — a dict with increment semantics — so
+the emulator's hot loop can keep plain attribute counters and publish
+them into a :class:`Counters` snapshot only when asked.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple, Union
+
+Number = Union[int, float]
+
+
+class Counters:
+    """Named monotonic counters with prefix queries and reset."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, Number] = {}
+
+    # -- mutation -------------------------------------------------------------
+
+    def inc(self, name: str, amount: Number = 1) -> Number:
+        """Add ``amount`` to ``name`` (creating it at 0); returns the
+        new value."""
+        value = self._values.get(name, 0) + amount
+        self._values[name] = value
+        return value
+
+    def put(self, name: str, value: Number) -> None:
+        """Set ``name`` to an absolute value (gauges, derived values)."""
+        self._values[name] = value
+
+    def merge(self, other: "Counters") -> "Counters":
+        """Add every counter from ``other`` into this registry."""
+        for name, value in other._values.items():
+            self.inc(name, value)
+        return self
+
+    def reset(self) -> None:
+        """Drop every counter — used between runs so measurements from
+        one execution never leak into the next."""
+        self._values.clear()
+
+    # -- queries --------------------------------------------------------------
+
+    def get(self, name: str, default: Number = 0) -> Number:
+        return self._values.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def snapshot(self) -> Dict[str, Number]:
+        """A name-sorted copy of every counter."""
+        return {name: self._values[name] for name in sorted(self._values)}
+
+    def with_prefix(self, prefix: str) -> Dict[str, Number]:
+        """Counters under ``prefix``, keyed by the remainder of the name."""
+        cut = len(prefix)
+        return {name[cut:]: value
+                for name, value in sorted(self._values.items())
+                if name.startswith(prefix)}
+
+    def items(self) -> Iterable[Tuple[str, Number]]:
+        return sorted(self._values.items())
+
+    # -- presentation ----------------------------------------------------------
+
+    def format_table(self, prefix: str = "") -> str:
+        """A two-column fixed-width rendering (the ``polynima stats``
+        output format)."""
+        rows = [(name, value) for name, value in self.items()
+                if name.startswith(prefix)]
+        if not rows:
+            return "(no counters)"
+        width = max(len(name) for name, _ in rows)
+        lines = []
+        for name, value in rows:
+            if isinstance(value, float):
+                lines.append(f"{name:<{width}}  {value:,.2f}")
+            else:
+                lines.append(f"{name:<{width}}  {value:,}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Counters n={len(self._values)}>"

@@ -1,0 +1,212 @@
+"""Nested-span tracing with a Chrome-trace (``about:tracing``) exporter.
+
+A :class:`Tracer` records wall-clock *spans* — named intervals that may
+nest — for one logical operation (a recompilation, a pass pipeline, an
+emulator run).  Spans follow the naming conventions documented in
+``docs/OBSERVABILITY.md``: dotted lower-case components, with the first
+component naming the subsystem (``recompile.lift``, ``pass.mem2reg``).
+
+The exporter emits the Chrome Trace Event Format (`"X"` complete
+events, microsecond timestamps), so ``chrome://tracing``, Perfetto and
+``speedscope`` all open the files directly.  ``Tracer.from_chrome_trace``
+round-trips the export, which the unit tests use as the schema check.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Schema identifier written into (and required from) trace files.
+TRACE_FORMAT = "polynima-trace-v1"
+
+
+@dataclass
+class Span:
+    """One named interval.  ``end`` is ``None`` while the span is open."""
+    name: str
+    start: float
+    end: Optional[float] = None
+    depth: int = 0
+    parent: Optional["Span"] = None
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (0.0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = f"{self.duration:.6f}s" if self.closed else "open"
+        return f"<span {self.name} {state} depth={self.depth}>"
+
+
+class Tracer:
+    """Records nested spans and exports them as Chrome-trace JSON.
+
+    Use as::
+
+        tracer = Tracer()
+        with tracer.span("recompile.lift", functions=12) as sp:
+            ...
+            sp.args["blocks"] = 99       # args may be added while open
+        tracer.save("trace.json")
+
+    Spans are appended in *start* order; nesting is tracked explicitly
+    (``depth``/``parent``), not inferred from timestamps.
+    """
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        #: Wall-clock origin so exported timestamps are small positives.
+        self._origin = clock()
+
+    # -- recording -----------------------------------------------------------
+
+    def begin(self, name: str, **args: Any) -> Span:
+        """Open a span; it nests under the innermost open span."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(name=name, start=self._clock(),
+                    depth=len(self._stack), parent=parent, args=dict(args))
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Optional[Span] = None) -> Span:
+        """Close the innermost open span (or ``span``, which must be it)."""
+        if not self._stack:
+            raise RuntimeError("Tracer.end() with no open span")
+        top = self._stack.pop()
+        if span is not None and span is not top:
+            raise RuntimeError(
+                f"span close order violated: closing {span.name!r} "
+                f"but innermost open span is {top.name!r}")
+        top.end = self._clock()
+        return top
+
+    @contextmanager
+    def span(self, name: str, **args: Any) -> Iterator[Span]:
+        """Context manager form of :meth:`begin`/:meth:`end`."""
+        sp = self.begin(name, **args)
+        try:
+            yield sp
+        finally:
+            self.end(sp)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    # -- queries -------------------------------------------------------------
+
+    def find(self, name: str) -> List[Span]:
+        """All spans with exactly this name, in start order."""
+        return [sp for sp in self.spans if sp.name == name]
+
+    def total(self, name: str) -> float:
+        """Summed duration of every closed span with this name."""
+        return sum(sp.duration for sp in self.find(name) if sp.closed)
+
+    def stage_seconds(self, prefix: str = "recompile.") -> Dict[str, float]:
+        """Map of stage name (prefix stripped) -> summed duration, over
+        *top-level* spans matching ``prefix`` — the pipeline view the
+        benchmarks and ``RecompileStats`` consume."""
+        out: Dict[str, float] = {}
+        for sp in self.spans:
+            if sp.depth == 0 and sp.closed and sp.name.startswith(prefix):
+                key = sp.name[len(prefix):]
+                out[key] = out.get(key, 0.0) + sp.duration
+        return out
+
+    # -- Chrome trace export ---------------------------------------------------
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """Serialise to the Chrome Trace Event Format (complete events)."""
+        events = []
+        for sp in self.spans:
+            if not sp.closed:
+                continue
+            events.append({
+                "name": sp.name,
+                "cat": sp.name.split(".", 1)[0],
+                "ph": "X",
+                "pid": 1,
+                "tid": 1,
+                "ts": (sp.start - self._origin) * 1e6,
+                "dur": sp.duration * 1e6,
+                "args": dict(sp.args, depth=sp.depth),
+            })
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"format": TRACE_FORMAT},
+        }
+
+    def save(self, path: str) -> None:
+        """Write the Chrome-trace JSON file."""
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome_trace(), handle, indent=1)
+
+    # -- import / validation -------------------------------------------------
+
+    @staticmethod
+    def validate_chrome_trace(data: Any) -> None:
+        """Raise ``ValueError`` unless ``data`` is a well-formed export."""
+        if not isinstance(data, dict):
+            raise ValueError("trace must be a JSON object")
+        events = data.get("traceEvents")
+        if not isinstance(events, list):
+            raise ValueError("trace missing 'traceEvents' list")
+        if data.get("otherData", {}).get("format") != TRACE_FORMAT:
+            raise ValueError(f"trace is not {TRACE_FORMAT}")
+        for i, ev in enumerate(events):
+            if not isinstance(ev, dict):
+                raise ValueError(f"event {i} is not an object")
+            for key, kind in (("name", str), ("ph", str), ("ts", (int, float)),
+                              ("dur", (int, float)), ("pid", int),
+                              ("tid", int), ("args", dict)):
+                if not isinstance(ev.get(key), kind):
+                    raise ValueError(f"event {i} field {key!r} missing/bad")
+            if ev["ph"] != "X":
+                raise ValueError(f"event {i}: only complete events allowed")
+            if ev["dur"] < 0:
+                raise ValueError(f"event {i}: negative duration")
+            if not isinstance(ev["args"].get("depth"), int):
+                raise ValueError(f"event {i}: args.depth missing")
+
+    @classmethod
+    def from_chrome_trace(cls, data: Dict[str, Any]) -> "Tracer":
+        """Rebuild a (closed) tracer from an export — the round-trip
+        used by schema tests and by ``polynima stats --trace``."""
+        cls.validate_chrome_trace(data)
+        tracer = cls()
+        tracer._origin = 0.0
+        for ev in data["traceEvents"]:
+            args = dict(ev["args"])
+            depth = args.pop("depth")
+            tracer.spans.append(Span(
+                name=ev["name"], start=ev["ts"] / 1e6,
+                end=(ev["ts"] + ev["dur"]) / 1e6, depth=depth, args=args))
+        # Reconstruct parents from depth + ordering.
+        open_at: List[Span] = []
+        for sp in tracer.spans:
+            del open_at[sp.depth:]
+            sp.parent = open_at[-1] if open_at else None
+            open_at.append(sp)
+        return tracer
+
+    @classmethod
+    def load(cls, path: str) -> "Tracer":
+        """Read and validate a trace file written by :meth:`save`."""
+        with open(path) as handle:
+            return cls.from_chrome_trace(json.load(handle))

@@ -5,17 +5,21 @@ from .dce import DCE
 from .inline import Inliner, clone_function_body, inline_call
 from .localopt import DSE, LoadElim, LocalCSE
 from .loops import LICM, LoopSimplify
-from .manager import Pass, PassManager
+from .manager import Pass, PassManager, PassRunRecord, module_size
 from .mem2reg import Mem2Reg
 from .regpromote import RegPromote
 from .scalarpromo import ScalarPromotion
 from .simplifycfg import SimplifyCFG
 
 
-def standard_pipeline(verify: bool = False) -> PassManager:
+def standard_pipeline(verify: bool = False, tracer=None,
+                      counters=None) -> PassManager:
     """The O2-flavoured pipeline applied to lifted modules before
     lowering.  Ordering mirrors a classic LLVM pipeline: promote state
-    to SSA first, then iterate scalar/memory/CFG clean-ups."""
+    to SSA first, then iterate scalar/memory/CFG clean-ups.
+
+    ``tracer``/``counters`` (see :mod:`repro.observability`) attach
+    per-pass wall-time and IR-delta instrumentation."""
     return PassManager([
         SimplifyCFG(),
         RegPromote(),
@@ -35,12 +39,13 @@ def standard_pipeline(verify: bool = False) -> PassManager:
         DSE(),
         DCE(),
         SimplifyCFG(),
-    ], verify=verify, max_iterations=2)
+    ], verify=verify, max_iterations=2, tracer=tracer, counters=counters)
 
 
 __all__ = [
     "ConstFold", "eval_binop", "eval_icmp", "DCE", "Inliner",
     "clone_function_body", "inline_call", "DSE", "LoadElim", "LocalCSE",
-    "LICM", "LoopSimplify", "Pass", "PassManager", "Mem2Reg", "RegPromote",
-    "ScalarPromotion", "SimplifyCFG", "standard_pipeline",
+    "LICM", "LoopSimplify", "Pass", "PassManager", "PassRunRecord",
+    "Mem2Reg", "RegPromote", "ScalarPromotion", "SimplifyCFG",
+    "module_size", "standard_pipeline",
 ]

@@ -364,6 +364,54 @@ class TestControlFlowMiss:
             assert image.section_at(miss.target) is not None
 
 
+class TestPipelineObservability:
+    """The recompile pipeline's spans and its stats must agree — the
+    stats are a derived view of the tracer (docs/OBSERVABILITY.md)."""
+
+    def test_stats_match_emitted_spans(self, sumloop_o0):
+        from repro.observability import Tracer
+        tracer = Tracer()
+        result = Recompiler(sumloop_o0, tracer=tracer).recompile()
+        assert result.tracer is tracer
+        stats = result.stats
+        stages = tracer.stage_seconds()
+        # Every timed stage the pipeline ran has a span, and the stats
+        # field carries exactly that span's duration.
+        for stage, seconds in stages.items():
+            assert stats.stage_seconds()[stage] == pytest.approx(seconds)
+        assert sum(stages.values()) == pytest.approx(stats.total_seconds)
+        # total_seconds is the sum of *all* stage fields (regression for
+        # the old docstring that claimed lift+opt+lower only).
+        assert stats.total_seconds == pytest.approx(
+            stats.disasm_seconds + stats.trace_seconds +
+            stats.lift_seconds + stats.fence_seconds +
+            stats.opt_seconds + stats.lower_seconds)
+        # Optimisation ran, so per-pass spans nest under recompile.opt.
+        pass_spans = [sp for sp in tracer.spans
+                      if sp.name.startswith("pass.")]
+        assert pass_spans
+        opt_span = tracer.find("recompile.opt")[0]
+        assert all(sp.depth >= 1 for sp in pass_spans)
+        assert sum(sp.duration for sp in pass_spans
+                   if sp.parent is opt_span) <= opt_span.duration
+
+    def test_recover_cfg_records_trace_stage(self, sumloop_o0):
+        from repro.core import ICFTTracer
+        from repro.observability import Tracer
+        trace = ICFTTracer(sumloop_o0).trace(
+            lambda _x: ExternalLibrary(), inputs=[None], seed=1)
+        tracer = Tracer()
+        recompiler = Recompiler(sumloop_o0, tracer=tracer)
+        from repro.core.recompiler import RecompileStats
+        stats = RecompileStats()
+        recompiler.recover_cfg(trace=trace, stats=stats)
+        assert tracer.find("recompile.trace")
+        assert stats.trace_seconds == pytest.approx(
+            tracer.total("recompile.trace"))
+        assert stats.disasm_seconds == pytest.approx(
+            tracer.total("recompile.disasm"))
+
+
 class TestAblationToggles:
     """The lazy-flag and stack-exemption knobs must change cost, never
     behaviour."""
