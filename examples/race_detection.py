@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Happens-before race detection inside the deterministic emulator.
+
+Output equality is a weak oracle for recompiled multithreaded binaries:
+a racy-but-lucky schedule passes it.  The ``repro.sanitizers`` race
+detector checks the memory model itself — every pair of conflicting
+accesses must be ordered by synchronisation, on *every* executed
+access, not just the ones that happened to collide.
+
+This example runs three programs under the detector:
+
+* a counter incremented by four threads with no synchronisation —
+  races on every increment;
+* the same counter protected by a pthread mutex — race-free;
+* the differential fence oracle: a mutex-protected workload recompiled
+  normally (0 races under the strict-mode detector, which only honours
+  instruction-level ordering) and with fence insertion disabled
+  (races appear, proving the fences were load-bearing).
+
+Run:  python examples/race_detection.py
+"""
+
+from repro.core import differential_race_check, make_library, run_image
+from repro.minicc import compile_minic
+from repro.sanitizers import RaceDetector
+
+RACY_SOURCE = r'''
+int counter;
+int worker(int *arg) {
+  int i;
+  for (i = 0; i < 25; i += 1) { counter += 1; }   // unsynchronised RMW
+  return 0;
+}
+int main() {
+  int tids[4];
+  int i;
+  for (i = 0; i < 4; i += 1) { pthread_create(&tids[i], 0, worker, 0); }
+  for (i = 0; i < 4; i += 1) { pthread_join(tids[i], 0); }
+  printf("c=%d\n", counter);
+  return 0;
+}
+'''
+
+LOCKED_SOURCE = r'''
+int counter;
+int mu;
+int worker(int *arg) {
+  int i;
+  for (i = 0; i < 25; i += 1) {
+    pthread_mutex_lock(&mu);
+    counter += 1;
+    pthread_mutex_unlock(&mu);
+  }
+  return 0;
+}
+int main() {
+  int tids[4];
+  int i;
+  pthread_mutex_init(&mu, 0);
+  for (i = 0; i < 4; i += 1) { pthread_create(&tids[i], 0, worker, 0); }
+  for (i = 0; i < 4; i += 1) { pthread_join(tids[i], 0); }
+  printf("c=%d\n", counter);
+  return 0;
+}
+'''
+
+
+def main() -> None:
+    print("== unsynchronised counter (4 threads) ==")
+    detector = RaceDetector()
+    result = run_image(compile_minic(RACY_SOURCE, opt_level=0),
+                       seed=3, sanitizer=detector)
+    print(f"   stdout: {result.stdout.decode().strip()!r} "
+          f"(lost updates are possible)")
+    print("   " + detector.report_text().replace("\n", "\n   "))
+
+    print("\n== mutex-protected counter ==")
+    detector = RaceDetector()
+    result = run_image(compile_minic(LOCKED_SOURCE, opt_level=0),
+                       seed=3, sanitizer=detector)
+    print(f"   stdout: {result.stdout.decode().strip()!r}")
+    print("   " + detector.report_text())
+
+    print("\n== differential fence oracle (strict mode, §3.3.4) ==")
+    image = compile_minic(LOCKED_SOURCE, opt_level=3)
+    report = differential_race_check(image, make_library, seed=7)
+    print(f"   {report.summary()}")
+    print("   The normal recompilation orders every original shared "
+          "access with fences;")
+    print("   stripping fence insertion exposes the races the strict-"
+          "mode detector sees.")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,7 +13,8 @@ Subcommands::
     polynima lift     <prog.vxe> [--cfg cfg.json]       # print lifted IR
     polynima recompile <prog.vxe> -o out.vxe [--additive] [--fence-opt]
                        [--trace-out trace.json]         # Chrome trace
-    polynima stats    <prog.vxe> [--json out.json]      # emulator counters
+    polynima stats    <prog.vxe> [--json out.json] [--tsan]  # counters
+    polynima tsan     <prog.vxe> [--strict] [--json]    # race detector
     polynima workloads [--group phoenix]                # list benchmarks
 """
 
@@ -155,8 +156,13 @@ def cmd_recompile(args) -> int:
 def cmd_stats(args) -> int:
     """``polynima stats``: run a binary and print emulator perf counters."""
     image = Image.load(args.binary)
+    sanitizer = None
+    if args.tsan:
+        from .sanitizers import RaceDetector
+        sanitizer = RaceDetector()
     machine = Machine(image, _library_from_args(args), seed=args.seed,
-                      profile_registers=args.profile_regs)
+                      profile_registers=args.profile_regs,
+                      sanitizer=sanitizer)
     try:
         machine.run()
     except EmulationFault as exc:
@@ -167,11 +173,54 @@ def cmd_stats(args) -> int:
         print()
     print(f"--- emulator counters ({args.binary}, seed {args.seed}) ---")
     print(counters.format_table())
+    if sanitizer is not None and sanitizer.reports:
+        print(sanitizer.report_text())
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(counters.snapshot(), handle, indent=1, sort_keys=True)
         print(f"wrote {args.json}")
-    return 0 if machine.fault is None else 1
+    if machine.fault is not None:
+        return 1
+    if sanitizer is not None and sanitizer.reports:
+        return 1        # CI gates on races via the exit status
+    return 0
+
+
+def cmd_tsan(args) -> int:
+    """``polynima tsan``: run a binary under the race detector.
+
+    Exit status: 0 clean, 1 races reported, 2 emulation fault.
+    """
+    from .core import run_image as _run_image
+    from .sanitizers import RaceDetector
+    image = Image.load(args.binary)
+    detector = RaceDetector(mode="strict" if args.strict else "full",
+                            max_reports=args.max_reports)
+    result = _run_image(image, library=_library_from_args(args),
+                        seed=args.seed, sanitizer=detector)
+    if args.json:
+        payload = {
+            "binary": args.binary,
+            "seed": args.seed,
+            "mode": detector.mode,
+            "fault": str(result.fault) if result.fault else None,
+            "races": [r.as_dict() for r in detector.reports],
+            "counters": detector.counters().snapshot(),
+        }
+        json.dump(payload, sys.stdout, indent=1, sort_keys=True)
+        print()
+    else:
+        sys.stdout.write(result.stdout.decode("latin1"))
+        if result.stdout and not result.stdout.endswith(b"\n"):
+            print()
+        if result.fault is not None:
+            print(f"[fault] {result.fault}", file=sys.stderr)
+        print(f"--- {detector.mode}-mode race detection "
+              f"({args.binary}, seed {args.seed}) ---")
+        print(detector.report_text())
+    if result.fault is not None:
+        return 2
+    return 1 if detector.reports else 0
 
 
 def cmd_workloads(args) -> int:
@@ -247,8 +296,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile-regs", action="store_true",
                    help="count per-thread register-file traffic "
                         "(slower emulation)")
+    p.add_argument("--tsan", action="store_true",
+                   help="attach the race detector; adds sanitizer.* "
+                        "counters and fails on reported races")
     common_run_args(p)
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("tsan", help="run a binary under the happens-"
+                                    "before race detector")
+    p.add_argument("binary")
+    p.add_argument("--strict", action="store_true",
+                   help="instruction-level happens-before only (the "
+                        "differential fence-oracle mode)")
+    p.add_argument("--max-reports", type=int, default=100,
+                   help="cap on stored race reports (default 100)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON on stdout")
+    common_run_args(p)
+    p.set_defaults(func=cmd_tsan)
 
     p = sub.add_parser("workloads", help="list benchmark workloads")
     p.add_argument("--group")

@@ -24,7 +24,8 @@ from .lifter import Lifter, LiftError
 from .project import ProjectError, RecompilationProject
 from .lowering import FunctionLowering, LoweringError
 from .recompiler import RecompileResult, RecompileStats, Recompiler
-from .runner import RunResult, make_library, run_image
+from .runner import (DifferentialRaceReport, RunResult,
+                     differential_race_check, make_library, run_image)
 from .runtime import RecompiledBinaryBuilder
 from .transforms import (RecordExternalArgs, RedirectExternalCalls,
                          RestrictSwitchTargets)
@@ -48,7 +49,8 @@ __all__ = [
     "ProjectError", "RecompilationProject",
     "FunctionLowering", "LoweringError",
     "RecompileResult", "RecompileStats", "Recompiler",
-    "RunResult", "make_library", "run_image",
+    "DifferentialRaceReport", "RunResult", "differential_race_check",
+    "make_library", "run_image",
     "RecompiledBinaryBuilder",
     "RecordExternalArgs", "RedirectExternalCalls", "RestrictSwitchTargets",
     "BlockTranslator", "TranslationError",

@@ -47,6 +47,45 @@ class LoweringError(Exception):
     pass
 
 
+#: IR kinds that end a fence's coverage of an adjacent access.
+_FENCE_SCAN_BARRIERS = (Load, Store, Cmpxchg, AtomicRMW, Call)
+
+
+def _fence_ordered_accesses(fn: Function) -> Set[Instruction]:
+    """The Loads/Stores the final (optimised) IR orders with fences.
+
+    A Load is *ordered* when a Fence follows it in its block before any
+    other memory or call operation; a Store when a Fence precedes it
+    likewise (the shapes ``FenceInsertion`` produces, surviving
+    ``FenceMerge``).  Accesses carrying an explicit atomic ordering
+    count too.  The lowered movs of ordered accesses are tagged in the
+    image's ``sanitizer_ordered_pcs`` metadata, which the race detector
+    treats as "the recompiler ordered this access": in strict mode only
+    these (and hardware atomics) suppress race reports, making the
+    detector a differential oracle for fence insertion.
+    """
+    ordered: Set[Instruction] = set()
+    for block in fn.blocks:
+        instrs = block.instructions
+        for i, instr in enumerate(instrs):
+            if not isinstance(instr, (Load, Store)):
+                continue
+            if getattr(instr, "ordering", None) is not None:
+                ordered.add(instr)
+                continue
+            if isinstance(instr, Load):
+                scan = instrs[i + 1:]
+            else:
+                scan = reversed(instrs[:i])
+            for other in scan:
+                if isinstance(other, Fence):
+                    ordered.add(instr)
+                    break
+                if isinstance(other, _FENCE_SCAN_BARRIERS):
+                    break
+    return ordered
+
+
 class _VReg:
     """A virtual register (one per SSA value that needs storage)."""
 
@@ -112,6 +151,7 @@ class FunctionLowering:
         self._linearize()
         intervals, call_positions, rax_clobbers = self._intervals()
         self._allocate(intervals, call_positions, rax_clobbers)
+        self._ordered_ir = _fence_ordered_accesses(self.fn)
         self._emit()
 
     def _split_critical_edges(self) -> None:
@@ -612,7 +652,10 @@ class FunctionLowering:
             width = instr.width
             mem = self._access_mem(instr)
             dst, vreg = self._def_reg(instr)
-            asm.emit(ins("mov", dst, mem, width=width))
+            mov = ins("mov", dst, mem, width=width)
+            asm.emit(mov)
+            if instr in self._ordered_ir:
+                asm.mark_access(mov)
             self._finish_def(dst, vreg)
             return
         if isinstance(instr, Store):
@@ -628,10 +671,13 @@ class FunctionLowering:
                 asm.emit(ins("lea", Reg("r11"), mem))
                 mem = Mem(base=Reg("r11"))
             if isinstance(value, ConstantInt):
-                asm.emit(ins("mov", mem, Imm(value.value), width=width))
+                mov = ins("mov", mem, Imm(value.value), width=width)
             else:
                 reg = self._use(value, "r10")
-                asm.emit(ins("mov", mem, reg, width=width))
+                mov = ins("mov", mem, reg, width=width)
+            asm.emit(mov)
+            if instr in self._ordered_ir:
+                asm.mark_access(mov)
             return
         if isinstance(instr, Cmpxchg):
             self._emit_cmpxchg(instr)

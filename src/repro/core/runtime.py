@@ -23,6 +23,7 @@ are emitted (§3.3.3):
 
 from __future__ import annotations
 
+import json
 from typing import Dict, List, Optional, Tuple
 
 from ..binfmt import Image
@@ -126,6 +127,11 @@ class RecompiledBinaryBuilder:
         self.output.metadata["poly_tls_size"] = str(TLS_BLOCK_SIZE)
         self.output.metadata["poly_emustack_size"] = str(self.emustack_size)
         self.output.metadata["poly_rsp_offset"] = str(RSP_TLS_OFFSET)
+        # Final addresses of fence-ordered loads/stores (lowering marked
+        # them; peephole rewrites legitimately drop marks).  Consumed by
+        # the race detector's strict mode (repro.sanitizers).
+        self.output.metadata["sanitizer_ordered_pcs"] = json.dumps(
+            list(code.marked))
         # Imports used only by original (dead) code keep their names so
         # the import table stays complete.
         for name in self.input_image.imports:

@@ -177,12 +177,18 @@ class ExternalLibrary:
         size = max((size + 15) & ~15, 16)
         bucket = self._free_lists.get(size)
         if bucket:
-            return bucket.pop()
-        addr = self._heap_next + 16
-        self._heap_next = addr + size
-        if self._heap_next > self._heap_end:
-            raise EmulationFault("out of heap memory")
-        self.machine.memory.write_int(addr - 16, size, 8)
+            addr = bucket.pop()
+        else:
+            addr = self._heap_next + 16
+            self._heap_next = addr + size
+            if self._heap_next > self._heap_end:
+                raise EmulationFault("out of heap memory")
+            self.machine.memory.write_int(addr - 16, size, 8)
+        sanitizer = self.machine.sanitizer
+        if sanitizer is not None:
+            # A fresh allocation is ordered by the allocator: recycled
+            # shadow state must not produce false races.
+            sanitizer.on_malloc(addr, size)
         return addr
 
     def do_malloc(self, machine, thread, args):
@@ -449,6 +455,8 @@ class ExternalLibrary:
         new = self.spawn_guest_thread(machine, start_routine, (arg,))
         if tid_ptr:
             machine.memory.write_int(tid_ptr, new.tid, 8)
+        if machine.sanitizer is not None:
+            machine.sanitizer.on_thread_create(thread, new.tid)
         return 0
 
     def do_pthread_join(self, machine, thread, args):
@@ -464,6 +472,8 @@ class ExternalLibrary:
             return None
         if ret_ptr:
             machine.memory.write_int(ret_ptr, target.exit_value, 8)
+        if machine.sanitizer is not None:
+            machine.sanitizer.on_thread_join(thread, tid)
         return 0
 
     def do_pthread_exit(self, machine, thread, args):
@@ -495,6 +505,10 @@ class ExternalLibrary:
         mutex = self._mutex(args[0])
         if mutex.owner is None:
             mutex.owner = thread.tid
+            # Contended lockers re-run the stub after wake-up and pass
+            # through here too, so this is the single acquire point.
+            if machine.sanitizer is not None:
+                machine.sanitizer.on_mutex_acquire(thread, args[0])
             return 0
         if mutex.owner == thread.tid:
             raise EmulationFault("recursive mutex lock",
@@ -506,6 +520,8 @@ class ExternalLibrary:
     def do_pthread_mutex_unlock(self, machine, thread, args):
         """``pthread_mutex_unlock`` — wakes one blocked waiter."""
         mutex = self._mutex(args[0])
+        if machine.sanitizer is not None:
+            machine.sanitizer.on_mutex_release(thread, args[0])
         mutex.owner = None
         if mutex.waiters:
             mutex.waiters -= machine.wake(("mutex", args[0]), limit=1)
@@ -526,7 +542,15 @@ class ExternalLibrary:
         if barrier.arrived >= barrier.count:
             barrier.arrived = 0
             barrier.generation += 1
-            machine.wake(("barrier", args[0], barrier.generation - 1))
+            key = ("barrier", args[0], barrier.generation - 1)
+            if machine.sanitizer is not None:
+                # Blocked parties resume after their (already completed)
+                # call, so the all-to-all edge is created here.
+                tids = [t.tid for t in machine.threads
+                        if t.state == ThreadContext.BLOCKED
+                        and t.block_key == key]
+                machine.sanitizer.on_barrier(tids + [thread.tid])
+            machine.wake(key)
             return 1
         machine.block(thread, ("barrier", args[0], barrier.generation))
         # Blocked threads resume *after* the call: mark completion by
@@ -564,7 +588,11 @@ class ExternalLibrary:
             hi = start + (total * (i + 1)) // nthreads
             worker = self.spawn_guest_thread(machine, fn, (arg, lo, hi))
             tids.append(worker.tid)
+        if machine.sanitizer is not None:
+            for tid in tids:
+                machine.sanitizer.on_thread_create(thread, tid)
         self._omp_regions[region_id] = {"remaining": set(tids),
+                                        "tids": tids,
                                         "waiter": thread.tid}
         machine.block(thread, ("omp", region_id))
         # Complete the call immediately so the waiter resumes after it.
@@ -579,6 +607,11 @@ class ExternalLibrary:
         for region_id, region in list(self._omp_regions.items()):
             region["remaining"].discard(thread.tid)
             if not region["remaining"]:
+                if machine.sanitizer is not None:
+                    # Exit clocks exist already: the sanitizer's own
+                    # thread-done hook runs before this one.
+                    machine.sanitizer.on_omp_join(region["waiter"],
+                                                  region["tids"])
                 machine.wake(("omp", region_id))
                 del self._omp_regions[region_id]
 
@@ -587,6 +620,8 @@ class ExternalLibrary:
     def do_evt_wait(self, machine, thread, args):
         """Event-object wait with a latched-signal fast path."""
         if args[0] in self._signaled_events:
+            if machine.sanitizer is not None:
+                machine.sanitizer.on_event_wait(thread, args[0])
             return 0        # latched: signal happened before the wait
         machine.block(thread, ("event", args[0]))
         sp = thread.cpu.get(4)
@@ -599,6 +634,14 @@ class ExternalLibrary:
     def do_evt_signal(self, machine, thread, args):
         """Event-object signal; latches if no thread is waiting yet."""
         self._signaled_events.add(args[0])
+        if machine.sanitizer is not None:
+            # Waiters blocked now resume after their completed call, so
+            # the release edge is pushed into them directly.
+            key = ("event", args[0])
+            waiting = [t.tid for t in machine.threads
+                       if t.state == ThreadContext.BLOCKED
+                       and t.block_key == key]
+            machine.sanitizer.on_event_signal(thread, args[0], waiting)
         machine.wake(("event", args[0]))
         return 0
 

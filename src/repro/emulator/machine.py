@@ -90,7 +90,8 @@ class Machine:
 
     def __init__(self, image: Image, library=None, seed: int = 0,
                  cores: int = 4, quantum: int = 40,
-                 profile_registers: bool = False) -> None:
+                 profile_registers: bool = False,
+                 sanitizer=None) -> None:
         self.image = image
         self.memory = Memory()
         self.seed = seed
@@ -126,6 +127,12 @@ class Machine:
         self.step_hook: Optional[Callable] = None
         # Called as hook(machine, thread) when a thread finishes.
         self.thread_done_hooks: List[Callable] = []
+        # Opt-in dynamic sanitizer (repro.sanitizers).  When one is
+        # attached, the bound-method assignment below shadows the class
+        # ``_step`` for this instance only, so unsanitized machines run
+        # the exact hot loop with zero extra per-step work.
+        self.sanitizer = sanitizer
+        self._access_plans: Dict[int, object] = {}
 
         for section in image.sections:
             self.memory.map(section.addr, bytes(section.data), section.name)
@@ -136,6 +143,10 @@ class Machine:
             library = ExternalLibrary()
         self.library = library
         library.attach(self)
+
+        if sanitizer is not None:
+            sanitizer.attach(self)
+            self._step = self._step_sanitized
 
         self._spawn(image.entry, args=(), magic_ret=EXIT_ADDR)
 
@@ -264,6 +275,8 @@ class Machine:
             if isinstance(thread.cpu, ProfiledCpuState):
                 counters.put(f"{base}.reg_reads", thread.cpu.reg_reads)
                 counters.put(f"{base}.reg_writes", thread.cpu.reg_writes)
+        if self.sanitizer is not None:
+            self.sanitizer.publish(counters)
         return counters
 
     def _pick_thread(self) -> Optional[ThreadContext]:
@@ -297,6 +310,7 @@ class Machine:
     def invalidate_decode_cache(self) -> None:
         """Drop cached decodes after code bytes change (additive lifting)."""
         self._decode_cache.clear()
+        self._access_plans.clear()
 
     def _step(self, thread: ThreadContext) -> int:
         cpu = thread.cpu
@@ -325,6 +339,34 @@ class Machine:
         self.instructions += 1
         self.cycles_by_class[INSTR_CLASS[instr.mnemonic]] += cost
         return cost
+
+    def _step_sanitized(self, thread: ThreadContext) -> int:
+        """``_step`` with sanitizer callbacks, installed as an instance
+        attribute only when a sanitizer is attached.
+
+        Memory-access classification per PC is cached as a *plan*, so
+        the steady-state overhead is one dict lookup plus the effective
+        address computation(s) per accessing instruction."""
+        cpu = thread.cpu
+        pc = cpu.pc
+        if pc < IMPORT_STUB_BASE and pc != EXIT_ADDR \
+                and pc != THREAD_EXIT_ADDR:
+            plan = self._access_plans.get(pc)
+            if plan is None:
+                instr, _ = self._decode_at(pc)
+                skip_tls = self.image.metadata.get("polynima") == "1"
+                plan = self._access_plans[pc] = _access_plan(instr, skip_tls)
+            if plan is not _NO_ACCESS:
+                if plan is _FENCE:
+                    self.sanitizer.on_fence(thread)
+                else:
+                    atomic, entries = plan
+                    sanitizer = self.sanitizer
+                    for mem, is_read, is_write, width in entries:
+                        sanitizer.on_access(
+                            thread, pc, self._mem_addr(cpu, mem),
+                            width, is_read, is_write, atomic)
+        return Machine._step(self, thread)
 
     def _thread_returned(self, thread: ThreadContext, magic: int) -> None:
         thread.state = ThreadContext.DONE
@@ -801,6 +843,80 @@ class Machine:
     def _op_rdtls(self, thread, instr) -> None:
         self._write_operand(thread.cpu, instr.operands[0],
                             thread.cpu.tls_base, 8)
+
+
+# --- sanitizer access plans --------------------------------------------------
+#
+# A *plan* classifies one decoded instruction's guest memory accesses for
+# the sanitizer hot path: either a sentinel (no access / fence) or
+# ``(atomic, entries)`` with one ``(mem, is_read, is_write, width)`` tuple
+# per memory operand.  Implicit stack accesses (push/pop/call/ret spill
+# slots) are deliberately omitted: they always hit the executing thread's
+# private native stack, which the detector skips anyway.
+
+_NO_ACCESS = object()
+_FENCE = object()
+
+#: dst-operand treatment per mnemonic: read-modify-write destinations.
+_RMW_DST = frozenset((
+    "add", "sub", "and", "or", "xor", "shl", "shr", "sar",
+    "imul", "idiv", "irem", "neg", "not", "inc", "dec",
+    "xchg", "cmpxchg", "xadd",
+))
+
+#: mnemonics whose every memory operand is only read.
+_READ_ONLY = frozenset(("cmp", "test", "push",
+                        "jmp", "call") + tuple(
+                            m for m in BASE_COSTS
+                            if m.startswith("j") and m != "jmp"))
+
+#: SIMD sources read 16 bytes (moves/lane ops) or 4 (scalar-lane inserts).
+_SIMD_SRC_WIDTH = {"movdq": 16, "paddd": 16, "psubd": 16, "pmulld": 16,
+                   "pxor": 16, "pinsrd": 4, "pbroadcastd": 4}
+
+
+def _access_plan(instr: Instruction, skip_tls: bool):
+    """Build the sanitizer access plan for one instruction.
+
+    ``skip_tls`` elides accesses based off ``r15`` (the recompiled
+    runtime's TLS/emustack base register): those target per-thread
+    memory by construction.
+    """
+    mnemonic = instr.mnemonic
+    if mnemonic == "mfence":
+        return _FENCE
+    if mnemonic in ("lea", "nop", "ret", "hlt", "ud2", "rdtls"):
+        return _NO_ACCESS
+    entries = []
+    for position, op in enumerate(instr.operands):
+        if not isinstance(op, Mem):
+            continue
+        if skip_tls and op.base is not None and op.base.name == "r15":
+            continue
+        if mnemonic in _SIMD_SRC_WIDTH and position == 1:
+            width = _SIMD_SRC_WIDTH[mnemonic]
+        elif mnemonic == "movdq":
+            width = 16
+        elif mnemonic in ("push", "pop", "jmp", "call", "pextrd") or \
+                mnemonic.startswith("j"):
+            width = 8
+        else:
+            width = instr.width
+        if mnemonic == "xchg":
+            is_read, is_write = True, True      # swaps both operands
+        elif mnemonic in _READ_ONLY:
+            is_read, is_write = True, False
+        elif position == 0:
+            if mnemonic in _RMW_DST:
+                is_read, is_write = True, True
+            else:       # mov/movdq/movsx/pop/pextrd destination
+                is_read, is_write = False, True
+        else:
+            is_read, is_write = True, False
+        entries.append((op, is_read, is_write, width))
+    if not entries:
+        return _NO_ACCESS
+    return instr.is_atomic, tuple(entries)
 
 
 def _build_dispatch() -> Dict[str, Callable]:

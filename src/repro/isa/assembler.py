@@ -54,6 +54,9 @@ class AssembledCode:
     base: int
     data: bytes
     symbols: Dict[str, int]
+    #: Final addresses of instructions tagged via ``mark_access`` that
+    #: survived to emission (sanitizer ordered-access metadata).
+    marked: Tuple[int, ...] = ()
 
     @property
     def size(self) -> int:
@@ -67,6 +70,7 @@ class Assembler:
     def __init__(self, base: int = 0x400000) -> None:
         self.base = base
         self._items: List[_Item] = []
+        self._marked: List[Instruction] = []
 
     # -- construction ------------------------------------------------------
 
@@ -94,6 +98,17 @@ class Assembler:
         """Append a sequence of instructions."""
         for instr in instrs:
             self.emit(instr)
+
+    def mark_access(self, instr: Instruction) -> None:
+        """Tag an already-emitted instruction *object* so its final
+        address is reported in :attr:`AssembledCode.marked`.
+
+        Identity-based (``Instruction`` is frozen and hashes by value):
+        only this exact object is marked; a peephole rewrite that
+        replaces it — e.g. store-to-load forwarding turning a marked
+        load into a register move — correctly drops the mark along with
+        the memory access."""
+        self._marked.append(instr)
 
     # -- peephole ----------------------------------------------------------
 
@@ -210,7 +225,12 @@ class Assembler:
                 continue
             resolved = _resolve(item, symbols)
             output += encode(resolved, address=addr)
-        return AssembledCode(base=self.base, data=bytes(output), symbols=symbols)
+        marked_ids = {id(instr) for instr in self._marked}
+        marked = tuple(sorted(
+            addr for item, addr in zip(self._items, addresses)
+            if isinstance(item, Instruction) and id(item) in marked_ids))
+        return AssembledCode(base=self.base, data=bytes(output),
+                             symbols=symbols, marked=marked)
 
 
 def _strip_labels(instr: Instruction) -> Instruction:

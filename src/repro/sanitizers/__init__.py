@@ -1,0 +1,18 @@
+"""Dynamic sanitizers that run inside the deterministic emulator.
+
+The flagship is the FastTrack-style happens-before data-race detector
+(:class:`RaceDetector`), which turns the emulator into a memory-model
+oracle for the recompilation pipeline: recompiled binaries must report
+zero races, fence-stripped recompilations must not (see
+``docs/SANITIZERS.md`` and :func:`repro.core.differential_race_check`).
+
+Layering: this package sits *beside* the emulator — the emulator never
+imports it.  A sanitizer is handed to ``Machine(..., sanitizer=...)``
+and receives callbacks; when no sanitizer is given the emulator's hot
+loop is byte-for-byte the unsanitized one.
+"""
+
+from .clocks import VectorClock
+from .detector import RaceDetector, RaceReport
+
+__all__ = ["VectorClock", "RaceDetector", "RaceReport"]

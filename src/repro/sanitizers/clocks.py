@@ -1,0 +1,57 @@
+"""Sparse vector clocks for happens-before tracking.
+
+A vector clock maps thread id -> logical clock.  Threads that never
+synchronised simply don't appear, so clocks stay small even on
+machines that spawn many short-lived workers (OpenMP regions spawn a
+fresh set per region).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class VectorClock:
+    """A sparse thread-id -> clock mapping with join/covers operations."""
+
+    __slots__ = ("clocks",)
+
+    def __init__(self, clocks: Optional[Dict[int, int]] = None) -> None:
+        self.clocks: Dict[int, int] = dict(clocks) if clocks else {}
+
+    def get(self, tid: int) -> int:
+        """This clock's component for ``tid`` (0 when absent)."""
+        return self.clocks.get(tid, 0)
+
+    def tick(self, tid: int) -> int:
+        """Increment ``tid``'s component; returns the new value."""
+        value = self.clocks.get(tid, 0) + 1
+        self.clocks[tid] = value
+        return value
+
+    def covers(self, tid: int, clock: int) -> bool:
+        """True when the epoch ``(tid, clock)`` happened-before this clock."""
+        return clock <= self.clocks.get(tid, 0)
+
+    def join(self, other: "VectorClock") -> None:
+        """In-place pointwise maximum (the happens-before join)."""
+        clocks = self.clocks
+        for tid, value in other.clocks.items():
+            if value > clocks.get(tid, 0):
+                clocks[tid] = value
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self.clocks)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        # Absent components are zero, so drop explicit zeros first.
+        mine = {t: c for t, c in self.clocks.items() if c}
+        theirs = {t: c for t, c in other.clocks.items() if c}
+        return mine == theirs
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        inner = ", ".join(f"{tid}:{clk}"
+                          for tid, clk in sorted(self.clocks.items()))
+        return f"<VC {inner}>"

@@ -1,0 +1,471 @@
+"""FastTrack-style happens-before data-race detection over the emulator.
+
+The detector keeps one vector clock per thread and a shadow word (last
+write epoch + last read epoch(s), FastTrack's adaptive representation)
+per 8-byte-aligned word of guest memory.  Every guest memory access is
+checked against the shadow state: a pair of accesses to the same word,
+at least one a write, with neither ordered by happens-before, is a
+data race.
+
+Happens-before edges come from two levels, selected by ``mode``:
+
+* ``"full"`` (the `polynima tsan` default): source-level
+  synchronisation routed through the external library
+  (``pthread_mutex_lock/unlock``, barriers, ``pthread_create/join``,
+  event objects, OpenMP fork/join) *plus* the instruction level below.
+* ``"strict"``: instruction-level synchronisation only — LOCK-prefixed
+  RMWs, ``mfence``, and the recompiler's fence-ordered access metadata
+  (``sanitizer_ordered_pcs``).  Deliberately blind to pthread calls,
+  this mode is the differential fence oracle: a *normally* recompiled
+  binary has every original shared access fence-ordered and reports
+  nothing, while a fence-stripped recompilation of the same program
+  reports races (see :func:`repro.core.differential_race_check`).
+
+Instruction-level semantics on this TSO machine:
+
+* an atomic RMW is an acquire+release on its word (its word carries a
+  sync clock, like a FastTrack lock variable);
+* ``mfence`` joins the thread clock with a global fence clock both
+  ways — consecutive fences in different threads are totally ordered,
+  which is exactly the seq-cst chain the recompiler's fences lower to;
+* a *plain* store to a word whose last write was ordered inherits
+  release semantics (the ``__sync_lock_release`` unlock idiom: a plain
+  ``mov [lock], 0`` publishing the critical section);
+* accesses marked *ordered* (atomic, or listed in the image's
+  ``sanitizer_ordered_pcs`` metadata) never *report* races — they are
+  the recompiler's claim that the access cannot be reordered — but
+  they still update shadow state and synchronise.
+
+Reports are deterministic for a fixed (image, seed) because the
+scheduler is; the unit suite pins that contract byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..observability import Counters
+from .clocks import VectorClock
+
+
+class _ThreadState:
+    """Per-thread detector state: the thread's vector clock."""
+
+    __slots__ = ("tid", "clock")
+
+    def __init__(self, tid: int) -> None:
+        self.tid = tid
+        self.clock = VectorClock({tid: 1})
+
+
+class _Shadow:
+    """Shadow state of one 8-byte word (FastTrack adaptive epochs)."""
+
+    __slots__ = ("write_tid", "write_clock", "write_pc", "write_ordered",
+                 "read_tid", "read_clock", "read_pc", "read_ordered",
+                 "reads", "sync")
+
+    def __init__(self) -> None:
+        self.write_tid: Optional[int] = None
+        self.write_clock = 0
+        self.write_pc = 0
+        self.write_ordered = False
+        # Single last-read epoch, promoted to the `reads` map when
+        # concurrent readers appear (FastTrack's read-shared state).
+        self.read_tid: Optional[int] = None
+        self.read_clock = 0
+        self.read_pc = 0
+        self.read_ordered = False
+        self.reads: Optional[Dict[int, Tuple[int, int, bool]]] = None
+        # Release clock of the word when used as a synchronisation
+        # variable (atomic RMWs, ordered stores, the unlock idiom).
+        self.sync: Optional[VectorClock] = None
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """One reported data race: the current access and the prior
+    conflicting access it is unordered with."""
+
+    kind: str                 # "write-write" | "write-read" | "read-write"
+    address: int              # byte address of the racing 8-byte word
+    current_tid: int
+    current_pc: int
+    current_is_write: bool
+    prior_tid: int
+    prior_pc: int
+    prior_is_write: bool
+
+    def format(self, symbolize) -> str:
+        cur = "write" if self.current_is_write else "read"
+        prev = "write" if self.prior_is_write else "read"
+        return (
+            f"data race ({self.kind}) on word {self.address:#x}\n"
+            f"  {cur:5s} by thread {self.current_tid} at pc "
+            f"{self.current_pc:#x} ({symbolize(self.current_pc)})\n"
+            f"  {prev:5s} by thread {self.prior_tid} at pc "
+            f"{self.prior_pc:#x} ({symbolize(self.prior_pc)})")
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly rendering (``polynima tsan --json``)."""
+        return {
+            "kind": self.kind,
+            "address": self.address,
+            "current": {"tid": self.current_tid, "pc": self.current_pc,
+                        "write": self.current_is_write},
+            "prior": {"tid": self.prior_tid, "pc": self.prior_pc,
+                      "write": self.prior_is_write},
+        }
+
+
+class RaceDetector:
+    """Vector-clock happens-before race detector (see module docstring).
+
+    Attach by constructing the machine with it::
+
+        detector = RaceDetector()
+        machine = Machine(image, library, seed=0, sanitizer=detector)
+        machine.run()
+        print(detector.report_text())
+
+    ``mode`` is ``"full"`` or ``"strict"``; ``max_reports`` caps the
+    stored reports (checking continues, ``races_observed`` keeps
+    counting).
+    """
+
+    def __init__(self, mode: str = "full", max_reports: int = 100) -> None:
+        if mode not in ("full", "strict"):
+            raise ValueError(f"unknown sanitizer mode {mode!r}")
+        self.mode = mode
+        self.sync_edges = (mode == "full")   # honour extlib-level edges?
+        self.max_reports = max_reports
+        self.machine = None
+        self.reports: List[RaceReport] = []
+        self.races_observed = 0              # pre-dedup failed checks
+        # counters (published as sanitizer.* via publish())
+        self.accesses = 0
+        self.atomic_accesses = 0
+        self.ordered_accesses = 0
+        self.fences = 0
+        self.sync_ops = 0
+        self.malloc_clears = 0
+        # state
+        self._threads: Dict[int, _ThreadState] = {}
+        self._shadow: Dict[int, _Shadow] = {}
+        self._exit_clocks: Dict[int, VectorClock] = {}
+        self._mutex_clocks: Dict[int, VectorClock] = {}
+        self._event_clocks: Dict[int, VectorClock] = {}
+        self._fence_clock = VectorClock()
+        self._ordered_pcs: Set[int] = set()
+        self._seen_pairs: Set[Tuple[str, int, int]] = set()
+        self._emustacks: Dict[int, Tuple[int, int]] = {}
+        self._symbols: List[Tuple[int, str]] = []
+        self._stack_size = 0
+
+    # -- wiring ----------------------------------------------------------------
+
+    def attach(self, machine) -> None:
+        """Bind to a machine: load ordered-PC metadata, the symbol
+        table, and register the thread-exit hook (first, so exit clocks
+        exist before the library's own completion hooks run)."""
+        from ..emulator.machine import STACK_SIZE
+        self.machine = machine
+        self._stack_size = STACK_SIZE
+        raw = machine.image.metadata.get("sanitizer_ordered_pcs")
+        if raw:
+            self._ordered_pcs = set(json.loads(raw))
+        self._symbols = sorted(
+            (addr, name) for name, addr in machine.image.symbols.items())
+        self._emustacks = machine.library.poly_emustacks
+        machine.thread_done_hooks.insert(0, self._thread_done_hook)
+
+    def _state(self, tid: int) -> _ThreadState:
+        state = self._threads.get(tid)
+        if state is None:
+            state = self._threads[tid] = _ThreadState(tid)
+        return state
+
+    def _thread_done_hook(self, machine, thread) -> None:
+        self._exit_clocks[thread.tid] = self._state(thread.tid).clock.copy()
+
+    # -- the hot path ----------------------------------------------------------
+
+    def on_access(self, thread, pc: int, addr: int, width: int,
+                  is_read: bool, is_write: bool, atomic: bool) -> None:
+        """Check one guest memory access against the shadow state."""
+        base = thread.stack_base
+        if base <= addr < base + self._stack_size:
+            return      # the thread's own native stack is private
+        rng = self._emustacks.get(thread.tid)
+        if rng is not None and rng[0] <= addr < rng[1]:
+            return      # ... as is its emulated stack
+        self.accesses += 1
+        ordered = atomic or pc in self._ordered_pcs
+        if atomic:
+            self.atomic_accesses += 1
+        if ordered:
+            self.ordered_accesses += 1
+        state = self._state(thread.tid)
+        first = addr >> 3
+        last = (addr + width - 1) >> 3
+        for word in range(first, last + 1):
+            self._check_word(word, state, pc, is_read, is_write,
+                             ordered, atomic)
+
+    def _check_word(self, word: int, state: _ThreadState, pc: int,
+                    is_read: bool, is_write: bool,
+                    ordered: bool, atomic: bool) -> None:
+        tid = state.tid
+        clock = state.clock
+        shadow = self._shadow.get(word)
+        if shadow is None:
+            shadow = self._shadow[word] = _Shadow()
+        # Acquire: ordered accesses take the word's release clock, and
+        # *any* access after an ordered write observes its publication
+        # (release-store visibility on a TSO machine).
+        if shadow.sync is not None and (ordered or shadow.write_ordered):
+            clock.join(shadow.sync)
+
+        if is_write:
+            # write-write conflict
+            if shadow.write_tid is not None and shadow.write_tid != tid \
+                    and not clock.covers(shadow.write_tid,
+                                         shadow.write_clock):
+                self._report("write-write", word, tid, pc, True, ordered,
+                             shadow.write_tid, shadow.write_pc, True,
+                             shadow.write_ordered)
+            # read-write conflicts
+            if shadow.reads is not None:
+                for rtid, (rclock, rpc, rordered) in shadow.reads.items():
+                    if rtid != tid and not clock.covers(rtid, rclock):
+                        self._report("read-write", word, tid, pc, True,
+                                     ordered, rtid, rpc, False, rordered)
+            elif shadow.read_tid is not None and shadow.read_tid != tid \
+                    and not clock.covers(shadow.read_tid,
+                                         shadow.read_clock):
+                self._report("read-write", word, tid, pc, True, ordered,
+                             shadow.read_tid, shadow.read_pc, False,
+                             shadow.read_ordered)
+            # Release: atomics and ordered stores publish; a plain
+            # store to an ordered word inherits release semantics (the
+            # unlock idiom).
+            release = atomic or ordered or shadow.write_ordered
+            if release:
+                if shadow.sync is None:
+                    shadow.sync = clock.copy()
+                else:
+                    shadow.sync.join(clock)
+                clock.tick(tid)
+            shadow.write_tid = tid
+            shadow.write_clock = clock.get(tid)
+            shadow.write_pc = pc
+            shadow.write_ordered = release
+            shadow.reads = None
+            shadow.read_tid = None
+        elif is_read:
+            if shadow.write_tid is not None and shadow.write_tid != tid \
+                    and not clock.covers(shadow.write_tid,
+                                         shadow.write_clock):
+                self._report("write-read", word, tid, pc, False, ordered,
+                             shadow.write_tid, shadow.write_pc, True,
+                             shadow.write_ordered)
+            if atomic:
+                # e.g. unlocked cmpxchg classified read-only never
+                # happens here (RMWs are is_write); keep for safety.
+                clock.tick(tid)
+            epoch = clock.get(tid)
+            if shadow.reads is not None:
+                shadow.reads[tid] = (epoch, pc, ordered)
+            elif shadow.read_tid is None or shadow.read_tid == tid or \
+                    clock.covers(shadow.read_tid, shadow.read_clock):
+                shadow.read_tid = tid
+                shadow.read_clock = epoch
+                shadow.read_pc = pc
+                shadow.read_ordered = ordered
+            else:
+                # Promote to read-shared: concurrent readers.
+                shadow.reads = {
+                    shadow.read_tid: (shadow.read_clock, shadow.read_pc,
+                                      shadow.read_ordered),
+                    tid: (epoch, pc, ordered),
+                }
+                shadow.read_tid = None
+
+    def _report(self, kind: str, word: int, tid: int, pc: int,
+                is_write: bool, ordered: bool, prior_tid: int,
+                prior_pc: int, prior_is_write: bool,
+                prior_ordered: bool) -> None:
+        self.races_observed += 1
+        if ordered or prior_ordered:
+            return      # at least one side is recompiler-ordered
+        key = (kind, pc, prior_pc)
+        if key in self._seen_pairs or len(self.reports) >= self.max_reports:
+            return
+        self._seen_pairs.add(key)
+        self.reports.append(RaceReport(
+            kind=kind, address=word << 3,
+            current_tid=tid, current_pc=pc, current_is_write=is_write,
+            prior_tid=prior_tid, prior_pc=prior_pc,
+            prior_is_write=prior_is_write))
+
+    def on_fence(self, thread) -> None:
+        """``mfence``: a seq-cst link in the global fence chain."""
+        self.fences += 1
+        state = self._state(thread.tid)
+        self._fence_clock.join(state.clock)
+        state.clock.join(self._fence_clock)
+        state.clock.tick(thread.tid)
+
+    # -- library-level synchronisation edges (mode "full") ---------------------
+
+    def on_mutex_acquire(self, thread, addr: int) -> None:
+        if not self.sync_edges:
+            return
+        self.sync_ops += 1
+        held = self._mutex_clocks.get(addr)
+        if held is not None:
+            self._state(thread.tid).clock.join(held)
+
+    def on_mutex_release(self, thread, addr: int) -> None:
+        if not self.sync_edges:
+            return
+        self.sync_ops += 1
+        state = self._state(thread.tid)
+        held = self._mutex_clocks.get(addr)
+        if held is None:
+            self._mutex_clocks[addr] = state.clock.copy()
+        else:
+            held.join(state.clock)
+        state.clock.tick(thread.tid)
+
+    def on_barrier(self, tids: List[int]) -> None:
+        """All parties arrived: join every clock, restart each epoch."""
+        if not self.sync_edges:
+            return
+        self.sync_ops += 1
+        merged = VectorClock()
+        for tid in tids:
+            merged.join(self._state(tid).clock)
+        for tid in tids:
+            state = self._state(tid)
+            state.clock = merged.copy()
+            state.clock.tick(tid)
+
+    def on_thread_create(self, parent_thread, child_tid: int) -> None:
+        if not self.sync_edges:
+            return
+        self.sync_ops += 1
+        parent = self._state(parent_thread.tid)
+        child = self._state(child_tid)
+        child.clock = parent.clock.copy()
+        child.clock.tick(child_tid)
+        parent.clock.tick(parent_thread.tid)
+
+    def on_thread_join(self, thread, target_tid: int) -> None:
+        if not self.sync_edges:
+            return
+        self.sync_ops += 1
+        exited = self._exit_clocks.get(target_tid)
+        if exited is not None:
+            self._state(thread.tid).clock.join(exited)
+
+    def on_omp_join(self, waiter_tid: int, worker_tids: List[int]) -> None:
+        """An OpenMP region completed: join edges from every worker."""
+        if not self.sync_edges:
+            return
+        self.sync_ops += 1
+        waiter = self._state(waiter_tid)
+        for tid in worker_tids:
+            exited = self._exit_clocks.get(tid)
+            if exited is not None:
+                waiter.clock.join(exited)
+
+    def on_event_wait(self, thread, key: int) -> None:
+        """Latched fast path: the signal already happened."""
+        if not self.sync_edges:
+            return
+        self.sync_ops += 1
+        signalled = self._event_clocks.get(key)
+        if signalled is not None:
+            self._state(thread.tid).clock.join(signalled)
+
+    def on_event_signal(self, thread, key: int,
+                        waiting_tids: List[int]) -> None:
+        if not self.sync_edges:
+            return
+        self.sync_ops += 1
+        state = self._state(thread.tid)
+        held = self._event_clocks.get(key)
+        if held is None:
+            held = self._event_clocks[key] = state.clock.copy()
+        else:
+            held.join(state.clock)
+        # Waiters blocked *now* resume after their call returns, so the
+        # edge must be pushed into them here.
+        for tid in waiting_tids:
+            self._state(tid).clock.join(held)
+        state.clock.tick(thread.tid)
+
+    def on_malloc(self, addr: int, size: int) -> None:
+        """Fresh allocation: clear recycled shadow state (heap reuse is
+        allocator-ordered, not a race)."""
+        if not self._shadow:
+            return
+        self.malloc_clears += 1
+        first = addr >> 3
+        last = (addr + size - 1) >> 3
+        shadow = self._shadow
+        if last - first > len(shadow):
+            for word in [w for w in shadow if first <= w <= last]:
+                del shadow[word]
+        else:
+            for word in range(first, last + 1):
+                shadow.pop(word, None)
+
+    # -- results ---------------------------------------------------------------
+
+    def symbolize(self, pc: int) -> str:
+        """``name+0xoff`` for the nearest preceding symbol, else ``?``."""
+        idx = bisect_right(self._symbols, (pc, "\xff")) - 1
+        if idx < 0:
+            return "?"
+        addr, name = self._symbols[idx]
+        off = pc - addr
+        return name if off == 0 else f"{name}+{off:#x}"
+
+    def report_text(self) -> str:
+        """The full deterministic race report."""
+        if not self.reports:
+            return "no data races detected"
+        lines = []
+        for index, report in enumerate(self.reports, 1):
+            lines.append(f"#{index} {report.format(self.symbolize)}")
+        suffix = ""
+        if self.races_observed > len(self.reports):
+            suffix = (f"\n({self.races_observed} racy access pairs "
+                      f"observed in total)")
+        plural = "s" if len(self.reports) != 1 else ""
+        return (f"{len(self.reports)} data race{plural} detected\n"
+                + "\n".join(lines) + suffix)
+
+    def publish(self, counters: Counters) -> None:
+        """Publish ``sanitizer.*`` counters into a registry (merged into
+        ``Machine.perf_counters()`` automatically)."""
+        counters.put("sanitizer.accesses", self.accesses)
+        counters.put("sanitizer.atomic_accesses", self.atomic_accesses)
+        counters.put("sanitizer.ordered_accesses", self.ordered_accesses)
+        counters.put("sanitizer.fences", self.fences)
+        counters.put("sanitizer.sync_ops", self.sync_ops)
+        counters.put("sanitizer.malloc_clears", self.malloc_clears)
+        counters.put("sanitizer.shadow_words", len(self._shadow))
+        counters.put("sanitizer.races", len(self.reports))
+        counters.put("sanitizer.races_observed", self.races_observed)
+
+    def counters(self) -> Counters:
+        """A standalone ``sanitizer.*`` counter snapshot."""
+        registry = Counters()
+        self.publish(registry)
+        return registry

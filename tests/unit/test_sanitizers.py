@@ -1,0 +1,381 @@
+"""Unit tests for the happens-before race detector (repro.sanitizers)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core import run_image
+from repro.emulator import Machine
+from repro.emulator.machine import _FENCE, _NO_ACCESS, _access_plan
+from repro.isa import Imm, Mem, Reg, ins
+from repro.minicc import compile_minic
+from repro.sanitizers import RaceDetector, VectorClock
+
+from conftest import COUNTER_MT
+
+RACY = r'''
+int counter;
+int worker(int *arg) {
+  int i;
+  for (i = 0; i < 25; i += 1) { counter += 1; }
+  return 0;
+}
+int main() {
+  int tids[4];
+  int i;
+  for (i = 0; i < 4; i += 1) { pthread_create(&tids[i], 0, worker, 0); }
+  for (i = 0; i < 4; i += 1) { pthread_join(tids[i], 0); }
+  printf("c=%d\n", counter);
+  return 0;
+}
+'''
+
+MUTEXED = r'''
+int counter;
+int mu;
+int worker(int *arg) {
+  int i;
+  for (i = 0; i < 20; i += 1) {
+    pthread_mutex_lock(&mu);
+    counter += 1;
+    pthread_mutex_unlock(&mu);
+  }
+  return 0;
+}
+int main() {
+  int tids[3];
+  int i;
+  pthread_mutex_init(&mu, 0);
+  for (i = 0; i < 3; i += 1) { pthread_create(&tids[i], 0, worker, 0); }
+  for (i = 0; i < 3; i += 1) { pthread_join(tids[i], 0); }
+  printf("c=%d\n", counter);
+  return 0;
+}
+'''
+
+CREATE_JOIN = r'''
+int data;
+int echo;
+int worker(int *arg) {
+  echo = data + 1;      // reads the parent's pre-create write
+  return 0;
+}
+int main() {
+  int tid;
+  data = 41;
+  pthread_create(&tid, 0, worker, 0);
+  pthread_join(tid, 0);
+  printf("%d\n", echo); // reads the child's write after join
+  return 0;
+}
+'''
+
+BARRIER = r'''
+int slots[2];
+int out0;
+int out1;
+int bar;
+int w0(int *arg) {
+  slots[0] = 11;
+  pthread_barrier_wait(&bar);
+  out0 = slots[1];
+  return 0;
+}
+int w1(int *arg) {
+  slots[1] = 22;
+  pthread_barrier_wait(&bar);
+  out1 = slots[0];
+  return 0;
+}
+int main() {
+  int t0;
+  int t1;
+  pthread_barrier_init(&bar, 0, 2);
+  pthread_create(&t0, 0, w0, 0);
+  pthread_create(&t1, 0, w1, 0);
+  pthread_join(t0, 0);
+  pthread_join(t1, 0);
+  printf("%d %d\n", out0, out1);
+  return 0;
+}
+'''
+
+EVENT = r'''
+int data;
+int producer(int *arg) {
+  data = 42;
+  evt_signal(7);
+  return 0;
+}
+int main() {
+  int tid;
+  pthread_create(&tid, 0, producer, 0);
+  evt_wait(7);
+  printf("%d\n", data);
+  pthread_join(tid, 0);
+  return 0;
+}
+'''
+
+
+# -- vector clocks -----------------------------------------------------------
+
+
+class TestVectorClock:
+    def test_empty_covers_nothing_but_zero(self):
+        clock = VectorClock()
+        assert clock.get(3) == 0
+        assert clock.covers(3, 0)
+        assert not clock.covers(3, 1)
+
+    def test_tick_advances_one_component(self):
+        clock = VectorClock()
+        assert clock.tick(2) == 1
+        assert clock.tick(2) == 2
+        assert clock.get(2) == 2
+        assert clock.get(1) == 0
+
+    def test_join_is_pointwise_max(self):
+        a = VectorClock({1: 5, 2: 1})
+        b = VectorClock({2: 7, 3: 2})
+        a.join(b)
+        assert (a.get(1), a.get(2), a.get(3)) == (5, 7, 2)
+        # join must not mutate the argument
+        assert (b.get(1), b.get(2), b.get(3)) == (0, 7, 2)
+
+    def test_copy_is_independent(self):
+        a = VectorClock({1: 1})
+        b = a.copy()
+        b.tick(1)
+        assert a.get(1) == 1 and b.get(1) == 2
+
+    def test_equality_ignores_explicit_zeros(self):
+        assert VectorClock({1: 2, 5: 0}) == VectorClock({1: 2})
+        assert VectorClock({1: 2}) != VectorClock({1: 3})
+
+
+# -- access plans ------------------------------------------------------------
+
+
+class TestAccessPlans:
+    def test_plain_load_and_store(self):
+        mem = Mem(base=Reg("rcx"), disp=8)
+        atomic, entries = _access_plan(
+            ins("mov", Reg("rax"), mem, width=4), False)
+        assert not atomic
+        assert entries == ((mem, False, True, 4),) or \
+            entries == ((mem, True, False, 4),)
+        # position 1 is the source: a read
+        assert entries[0][1:] == (True, False, 4)
+        atomic, entries = _access_plan(
+            ins("mov", mem, Reg("rax"), width=8), False)
+        assert not atomic and entries[0][1:] == (False, True, 8)
+
+    def test_rmw_destination_reads_and_writes(self):
+        mem = Mem(base=Reg("rdx"))
+        atomic, entries = _access_plan(ins("add", mem, Imm(1)), False)
+        assert not atomic and entries[0][1:] == (True, True, 8)
+
+    def test_lock_prefix_is_atomic(self):
+        mem = Mem(base=Reg("rdx"))
+        atomic, entries = _access_plan(
+            ins("xadd", mem, Reg("rax"), lock=True), False)
+        assert atomic and entries[0][1:] == (True, True, 8)
+
+    def test_xchg_with_memory_is_implicitly_atomic(self):
+        mem = Mem(base=Reg("rdx"))
+        atomic, entries = _access_plan(ins("xchg", mem, Reg("rax")), False)
+        assert atomic and entries[0][1:] == (True, True, 8)
+        # register-register xchg touches no memory
+        assert _access_plan(
+            ins("xchg", Reg("rax"), Reg("rcx")), False) is _NO_ACCESS
+
+    def test_fence_and_no_access_sentinels(self):
+        assert _access_plan(ins("mfence"), False) is _FENCE
+        assert _access_plan(ins("nop"), False) is _NO_ACCESS
+        assert _access_plan(
+            ins("lea", Reg("rax"), Mem(base=Reg("rcx"))), False) \
+            is _NO_ACCESS
+
+    def test_cmp_only_reads(self):
+        mem = Mem(disp=0x1000)
+        _atomic, entries = _access_plan(ins("cmp", mem, Imm(3)), False)
+        assert entries[0][1:] == (True, False, 8)
+
+    def test_tls_base_skipped_in_recompiled_images(self):
+        tls_mem = Mem(base=Reg("r15"), disp=32)
+        assert _access_plan(
+            ins("mov", Reg("rax"), tls_mem), True) is _NO_ACCESS
+        # ... but counted when the image is not a recompiled one
+        assert _access_plan(
+            ins("mov", Reg("rax"), tls_mem), False) is not _NO_ACCESS
+
+
+# -- end-to-end detection ----------------------------------------------------
+
+
+class TestDetection:
+    def test_racy_counter_reports_races(self):
+        detector = RaceDetector()
+        result = run_image(compile_minic(RACY, opt_level=0),
+                           seed=3, sanitizer=detector)
+        assert result.ok
+        assert len(detector.reports) >= 1
+        assert detector.races_observed >= len(detector.reports)
+        kinds = {r.kind for r in detector.reports}
+        assert kinds <= {"write-write", "write-read", "read-write"}
+        assert result.races == detector.reports
+
+    def test_mutex_counter_is_race_free(self):
+        detector = RaceDetector()
+        result = run_image(compile_minic(MUTEXED, opt_level=0),
+                           seed=5, sanitizer=detector)
+        assert result.ok and result.stdout == b"c=60\n"
+        assert detector.reports == []
+
+    def test_spinlock_counter_is_race_free(self):
+        # __sync_lock_test_and_set / plain-store release: the unlock
+        # idiom (a plain store to an atomically-written word inherits
+        # release semantics) keeps this clean.
+        detector = RaceDetector()
+        result = run_image(compile_minic(COUNTER_MT, opt_level=3),
+                           seed=3, sanitizer=detector)
+        assert result.ok and result.stdout == b"c=120\n"
+        assert detector.reports == []
+
+    def test_create_join_edges(self):
+        detector = RaceDetector()
+        result = run_image(compile_minic(CREATE_JOIN, opt_level=0),
+                           seed=1, sanitizer=detector)
+        assert result.ok and result.stdout == b"42\n"
+        assert detector.reports == []
+
+    def test_barrier_edges(self):
+        detector = RaceDetector()
+        result = run_image(compile_minic(BARRIER, opt_level=0),
+                           seed=9, sanitizer=detector)
+        assert result.ok and result.stdout == b"22 11\n"
+        assert detector.reports == []
+
+    def test_event_edges(self):
+        detector = RaceDetector()
+        result = run_image(compile_minic(EVENT, opt_level=0),
+                           seed=2, sanitizer=detector)
+        assert result.ok and result.stdout == b"42\n"
+        assert detector.reports == []
+
+    def test_racy_reports_suppressed_in_reused_detector_guard(self):
+        with pytest.raises(ValueError):
+            RaceDetector(mode="fast")
+
+
+class TestDeterminism:
+    def test_same_seed_same_report_bytes(self):
+        image = compile_minic(RACY, opt_level=0)
+
+        def report(seed):
+            detector = RaceDetector()
+            result = run_image(image, seed=seed, sanitizer=detector)
+            assert result.ok
+            return detector.report_text()
+
+        first = report(seed=7)
+        second = report(seed=7)
+        assert first == second      # byte-identical, not just same count
+        assert "data race" in first
+
+
+class TestCountersAndOverheadPath:
+    def test_sanitizer_counters_published(self):
+        detector = RaceDetector()
+        result = run_image(compile_minic(RACY, opt_level=0),
+                           seed=3, sanitizer=detector)
+        counters = result.counters
+        assert counters["sanitizer.accesses"] > 0
+        assert counters["sanitizer.races"] == len(detector.reports)
+        assert counters["sanitizer.races_observed"] == \
+            detector.races_observed
+        assert counters["sanitizer.shadow_words"] > 0
+        # emulator counters still present alongside
+        assert counters["emu.instructions"] > 0
+
+    def test_unsanitized_machine_keeps_class_step(self):
+        # The zero-overhead contract: without a sanitizer, _step is the
+        # plain class method — no per-access Python-level hook exists.
+        image = compile_minic(RACY, opt_level=0)
+        machine = Machine(image)
+        assert "_step" not in machine.__dict__
+        assert machine.sanitizer is None
+        sanitized = Machine(image, sanitizer=RaceDetector())
+        assert "_step" in sanitized.__dict__
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def racy_binary(tmp_path_factory):
+    path = tmp_path_factory.mktemp("tsan") / "racy.vxe"
+    compile_minic(RACY, opt_level=0).save(str(path))
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def clean_binary(tmp_path_factory):
+    path = tmp_path_factory.mktemp("tsan") / "clean.vxe"
+    compile_minic(MUTEXED, opt_level=0).save(str(path))
+    return str(path)
+
+
+class TestCli:
+    def test_tsan_exit_codes(self, racy_binary, clean_binary, capsys):
+        assert cli_main(["tsan", racy_binary, "--seed", "3"]) == 1
+        out = capsys.readouterr().out
+        assert "data race" in out
+        assert cli_main(["tsan", clean_binary, "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "no data races" in out
+
+    def test_tsan_json(self, racy_binary, capsys):
+        assert cli_main(["tsan", racy_binary, "--seed", "3",
+                         "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "full"
+        assert payload["fault"] is None
+        assert len(payload["races"]) >= 1
+        race = payload["races"][0]
+        assert {"kind", "address", "current", "prior"} <= set(race)
+        assert payload["counters"]["sanitizer.races"] == \
+            len(payload["races"])
+
+    def test_tsan_max_reports(self, racy_binary, capsys):
+        assert cli_main(["tsan", racy_binary, "--seed", "3",
+                         "--max-reports", "1", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["races"]) == 1
+
+    def test_stats_tsan_gains_sanitizer_section_and_fails(
+            self, racy_binary, clean_binary, tmp_path, capsys):
+        out_json = tmp_path / "stats.json"
+        assert cli_main(["stats", racy_binary, "--seed", "3", "--tsan",
+                         "--json", str(out_json)]) == 1
+        capsys.readouterr()
+        with open(out_json) as handle:
+            snapshot = json.load(handle)
+        assert snapshot["sanitizer.races"] >= 1
+        assert cli_main(["stats", clean_binary, "--seed", "3",
+                         "--tsan"]) == 0
+        assert "sanitizer.races" in capsys.readouterr().out
+
+    def test_stats_without_tsan_has_no_sanitizer_section(
+            self, racy_binary, tmp_path, capsys):
+        out_json = tmp_path / "stats.json"
+        assert cli_main(["stats", racy_binary, "--seed", "3",
+                         "--json", str(out_json)]) == 0
+        capsys.readouterr()
+        with open(out_json) as handle:
+            snapshot = json.load(handle)
+        assert not any(k.startswith("sanitizer.") for k in snapshot)
