@@ -58,7 +58,7 @@ def cmd_run(args) -> int:
     """``polynima run``: execute a VXE image on the emulator."""
     image = Image.load(args.binary)
     result = run_image(image, library=_library_from_args(args),
-                       seed=args.seed)
+                       seed=args.seed, engine=args.engine)
     sys.stdout.write(result.stdout.decode("latin1"))
     if result.fault is not None:
         print(f"[fault] {result.fault}", file=sys.stderr)
@@ -258,6 +258,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="execute a VXE binary")
     p.add_argument("binary")
     common_run_args(p)
+    p.add_argument("--engine", choices=("fast", "reference"),
+                   default="fast",
+                   help="interpreter loop: plan-cache/superblock engine "
+                        "or the seed reference loop (bit-identical)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("disasm", help="static control-flow recovery")

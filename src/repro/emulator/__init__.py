@@ -7,6 +7,7 @@ from .extlib import INPUT_BASE, ExternalLibrary
 from .machine import (CycleLimitExceeded, EmulationFault, EXIT_ADDR,
                       HEAP_BASE, Machine, STACK_SIZE, THREAD_EXIT_ADDR,
                       ThreadContext)
+from .engine import run_fast
 from .memory import Memory, MemoryFault
 
 __all__ = [
@@ -15,5 +16,5 @@ __all__ = [
     "CpuState", "ProfiledCpuState", "INPUT_BASE", "ExternalLibrary",
     "CycleLimitExceeded", "EmulationFault", "EXIT_ADDR", "HEAP_BASE",
     "Machine", "STACK_SIZE", "THREAD_EXIT_ADDR", "ThreadContext",
-    "Memory", "MemoryFault",
+    "Memory", "MemoryFault", "run_fast",
 ]

@@ -88,10 +88,19 @@ class ThreadContext:
 class Machine:
     """Interprets a VXE image with full multithreading support."""
 
+    #: Valid values for the ``engine`` constructor argument: "fast" is
+    #: the two-tier plan-cache + superblock engine (repro.emulator.engine),
+    #: "reference" the seed per-step loop kept as the determinism oracle.
+    ENGINES = ("fast", "reference")
+
     def __init__(self, image: Image, library=None, seed: int = 0,
                  cores: int = 4, quantum: int = 40,
                  profile_registers: bool = False,
-                 sanitizer=None) -> None:
+                 sanitizer=None, engine: str = "fast") -> None:
+        if engine not in self.ENGINES:
+            raise ValueError(f"unknown engine {engine!r} "
+                             f"(expected one of {self.ENGINES})")
+        self.engine = engine
         self.image = image
         self.memory = Memory()
         self.seed = seed
@@ -117,6 +126,14 @@ class Machine:
         self.profile_registers = profile_registers
         self._cpu_cls = ProfiledCpuState if profile_registers else CpuState
         self._decode_cache: Dict[int, Tuple[Instruction, int]] = {}
+        # pc -> (handler, instr, size, cost, class, atomic) execution
+        # plans (see repro.emulator.engine): decode-time precomputation
+        # of everything the seed _step re-derived on every retire.
+        self._plans: Dict[int, Tuple] = {}
+        # Runnable-thread count, maintained incrementally on state
+        # transitions (spawn/block/wake/done) and resynced at every
+        # _pick_thread; replaces the seed loop's per-instruction rescan.
+        self._runnable = 0
         self._next_stack_top = STACK_AREA_TOP
         self._next_tid = 0
         # Hooks: called as hook(machine, thread, from_pc, target, kind)
@@ -176,6 +193,7 @@ class Machine:
         thread = ThreadContext(self._next_tid, cpu, top - STACK_SIZE)
         self._next_tid += 1
         self.threads.append(thread)
+        self._runnable += 1
         return thread
 
     def spawn_thread(self, entry: int, args: Tuple[int, ...] = ()) -> ThreadContext:
@@ -193,6 +211,8 @@ class Machine:
 
     def block(self, thread: ThreadContext, key: object) -> None:
         """Park a thread on a wait key until another thread wakes it."""
+        if thread.state == ThreadContext.RUNNABLE:
+            self._runnable -= 1
         thread.state = ThreadContext.BLOCKED
         thread.block_key = key
 
@@ -203,6 +223,7 @@ class Machine:
             if thread.state == ThreadContext.BLOCKED and thread.block_key == key:
                 thread.state = ThreadContext.RUNNABLE
                 thread.block_key = None
+                self._runnable += 1
                 woken += 1
                 if limit is not None and woken >= limit:
                     break
@@ -216,7 +237,23 @@ class Machine:
         Returns the exit code.  Faults are recorded in :attr:`fault` and
         re-raised — callers that *expect* failure (e.g. validating a
         broken baseline recompilation) catch :class:`EmulationFault`.
+
+        Which loop runs is the constructor's ``engine`` choice; both
+        consume the RNG in the same sequence and preempt at the same
+        instruction boundaries, so results are bit-identical per seed
+        (pinned by tests/integration/test_engine_equivalence.py).
         """
+        if self.engine == "fast":
+            from .engine import run_fast
+            return run_fast(self, max_cycles)
+        return self._run_reference(max_cycles)
+
+    def _run_reference(self, max_cycles: int) -> int:
+        """The seed interpreter loop, verbatim: one ``_step`` per
+        iteration and an O(threads) runnable rescan after each retire.
+        Kept as the determinism oracle the fast engine is tested
+        against and as the throughput benchmark's "before" engine."""
+        step = self.__dict__.get("_step") or self._step_reference
         current: Optional[ThreadContext] = None
         budget = 0
         while not self.exited:
@@ -234,7 +271,7 @@ class Machine:
                     self.context_switches += 1
                 budget = self.quantum + self.rng.randrange(self.quantum)
             try:
-                cost = self._step(current)
+                cost = step(current)
             except MemoryFault as exc:
                 self.fault = EmulationFault(str(exc), current.cpu.pc,
                                             current.tid)
@@ -281,6 +318,10 @@ class Machine:
 
     def _pick_thread(self) -> Optional[ThreadContext]:
         runnable = [t for t in self.threads if t.state == ThreadContext.RUNNABLE]
+        # Free resync point for the incremental counter: any direct
+        # state mutation from outside the machine heals here, at the
+        # latest by the next scheduling decision.
+        self._runnable = len(runnable)
         if not runnable:
             if any(t.state == ThreadContext.BLOCKED for t in self.threads):
                 blocked = [t.tid for t in self.threads
@@ -308,11 +349,70 @@ class Machine:
         return instr, size
 
     def invalidate_decode_cache(self) -> None:
-        """Drop cached decodes after code bytes change (additive lifting)."""
+        """Drop cached decodes after code bytes change (additive lifting).
+
+        Execution plans and superblock state derive from decodes, so
+        they are dropped together with them."""
         self._decode_cache.clear()
+        self._plans.clear()
         self._access_plans.clear()
 
+    def _plan_at(self, pc: int) -> Tuple:
+        """Build (and cache) the execution plan for ``pc``.
+
+        Everything the seed ``_step`` recomputed per retire — handler
+        lookup, static cost (base + lock penalty + memory traffic),
+        perf-counter class, atomic-RMW flag — is evaluated once here,
+        at decode time (see repro.emulator.engine)."""
+        from .engine import specialize
+        instr, size = self._decode_at(pc)
+        mnemonic = instr.mnemonic
+        cost = BASE_COSTS[mnemonic]
+        atomic = instr.is_atomic
+        if atomic:
+            cost += LOCK_COST
+        cost += MEMORY_ACCESS_COST * sum(
+            1 for op in instr.operands if isinstance(op, Mem))
+        handler = specialize(instr, _DISPATCH[mnemonic])
+        plan = (handler, instr, size, cost, INSTR_CLASS[mnemonic], atomic)
+        self._plans[pc] = plan
+        return plan
+
     def _step(self, thread: ThreadContext) -> int:
+        """Retire one instruction via the ExecPlan cache.
+
+        Observable behaviour is identical to :meth:`_step_reference`
+        (the seed implementation); the steady state is one dict lookup
+        plus the handler call."""
+        cpu = thread.cpu
+        pc = cpu.pc
+        if pc in (EXIT_ADDR, THREAD_EXIT_ADDR):
+            self._thread_returned(thread, pc)
+            return 1
+        if pc >= IMPORT_STUB_BASE:
+            return self._external_call(thread, pc)
+        plan = self._plans.get(pc)
+        if plan is None:
+            plan = self._plan_at(pc)
+        handler, instr, size, cost, klass, atomic = plan
+        if self.step_hook is not None:
+            self.step_hook(self, thread, instr)
+        if atomic:
+            self.atomic_rmws += 1
+        cpu.pc = pc + size
+        handler(self, thread, instr)
+        thread.cycles += cost
+        thread.instructions += 1
+        self.total_cycles += cost
+        self.instructions += 1
+        self.cycles_by_class[klass] += cost
+        return cost
+
+    def _step_reference(self, thread: ThreadContext) -> int:
+        """The seed ``_step``, verbatim: per-retire cost recomputation
+        with no plan cache.  Only the reference engine runs this; it is
+        the baseline the fast engine is benchmarked and tested
+        against."""
         cpu = thread.cpu
         pc = cpu.pc
         if pc in (EXIT_ADDR, THREAD_EXIT_ADDR):
@@ -369,6 +469,8 @@ class Machine:
         return Machine._step(self, thread)
 
     def _thread_returned(self, thread: ThreadContext, magic: int) -> None:
+        if thread.state == ThreadContext.RUNNABLE:
+            self._runnable -= 1
         thread.state = ThreadContext.DONE
         thread.exit_value = thread.cpu.get(RAX)
         if magic == EXIT_ADDR:
@@ -420,9 +522,10 @@ class Machine:
                                  pc, thread.tid)
         cpu = thread.cpu
         args = tuple(cpu.get(reg) for reg in _ARG_REG_INDICES)
-        for hook in self.indirect_hooks:
-            # External calls are visible to tracers as such, not as ICFTs.
-            pass
+        # Import-stub dispatch is deliberately NOT reported through
+        # indirect_hooks: tracers see external calls as such, never as
+        # indirect control-flow transfers (pinned by
+        # test_external_call_does_not_fire_indirect_hooks).
         result = self.library.dispatch(name, self, thread, args)
         cost = EXTERNAL_CALL_COST + self.library.cost(name)
         thread.cycles += cost

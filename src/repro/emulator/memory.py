@@ -71,8 +71,9 @@ class Memory:
         return seg is not None and addr + size <= seg.end
 
     def segments(self) -> List[Tuple[int, int, str]]:
-        """(start, size, name) for every mapped segment."""
-        return [(seg.start, seg.end, seg.name) for seg in self._segments]
+        """(start, size, name) for every mapped segment, ascending."""
+        return [(seg.start, seg.end - seg.start, seg.name)
+                for seg in self._segments]
 
     # -- access --------------------------------------------------------------
 
@@ -120,13 +121,27 @@ class Memory:
         self.write(addr, value.to_bytes(width, "little"))
 
     def read_cstr(self, addr: int, limit: int = 4096) -> bytes:
-        """Read a NUL-terminated byte string (bounded by ``limit``)."""
+        """Read a NUL-terminated byte string (bounded by ``limit``).
+
+        Scans whole segments at a time instead of issuing one ``read()``
+        per byte.  Fault behaviour at segment boundaries matches the
+        bytewise loop exactly: running off the end of a segment faults
+        at the first unmapped byte, unless an adjacent segment is
+        mapped there, in which case the scan continues into it.
+        """
         out = bytearray()
         while len(out) < limit:
-            byte = self.read(addr + len(out), 1)[0]
-            if byte == 0:
+            cursor = addr + len(out)
+            seg = self._find(cursor)
+            if seg is None:
+                raise MemoryFault(cursor, 1, "read")
+            start = cursor - seg.start
+            end = min(len(seg.data), start + limit - len(out))
+            nul = seg.data.find(0, start, end)
+            if nul >= 0:
+                out += seg.data[start:nul]
                 break
-            out.append(byte)
+            out += seg.data[start:end]
         return bytes(out)
 
     def write_cstr(self, addr: int, text: bytes) -> None:

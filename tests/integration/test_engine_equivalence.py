@@ -1,0 +1,111 @@
+"""Engine equivalence: the fast engine is bit-identical to the seed loop.
+
+The two-tier engine (repro.emulator.engine) must consume the RNG in
+exactly the seed sequence and preempt at the same instruction
+boundaries, so every seeded interleaving — including the racy ones the
+sanitizer depends on — reproduces bit for bit.  These tests pin that
+invariant across Phoenix workloads, seeds, faults, and the opt-in
+layers (sanitizer, additive-lifting cache invalidation).
+"""
+
+import pytest
+
+from repro.core import run_image
+from repro.emulator import Machine
+from repro.sanitizers import RaceDetector
+from repro.workloads import get as get_workload
+
+WORKLOADS = ("histogram", "string_match", "linear_regression")
+SEEDS = (3, 11, 29)
+
+
+def _fingerprint(result):
+    """Everything observable about a run, wall-clock floats included."""
+    return (result.stdout, result.exit_code, result.wall_cycles,
+            result.total_cycles, result.instructions, result.threads,
+            result.counters)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_fast_engine_bit_identical(name, seed):
+    workload = get_workload(name)
+    image = workload.compile(opt_level=3)
+    reference = run_image(image, library=workload.library("small"),
+                          seed=seed, engine="reference")
+    fast = run_image(image, library=workload.library("small"),
+                     seed=seed, engine="fast")
+    assert reference.fault is None and fast.fault is None
+    assert _fingerprint(reference) == _fingerprint(fast)
+    # context switches and the per-class cycle split ride in counters,
+    # but assert the headline ones explicitly for a readable failure.
+    assert reference.counters["emu.context_switches"] == \
+        fast.counters["emu.context_switches"]
+    assert reference.wall_cycles == fast.wall_cycles
+
+
+@pytest.mark.parametrize("seed", (3, 11))
+@pytest.mark.parametrize("name", ("histogram", "string_match"))
+def test_fast_engine_bit_identical_with_sanitizer(name, seed):
+    """Sanitized machines take the hook-preserving path of the fast
+    engine; interleavings and race reports must not move."""
+    workload = get_workload(name)
+    image = workload.compile(opt_level=3)
+    runs = {}
+    for engine in ("reference", "fast"):
+        detector = RaceDetector()
+        result = run_image(image, library=workload.library("small"),
+                           seed=seed, engine=engine, sanitizer=detector)
+        assert result.fault is None
+        runs[engine] = (_fingerprint(result), len(result.races),
+                        detector.races_observed)
+    assert runs["reference"] == runs["fast"]
+
+
+def test_fast_engine_same_fault_on_cycle_budget(monkeypatch):
+    """Both engines exhaust an artificially tiny cycle budget at the
+    same emulated instant."""
+    from repro.emulator import CycleLimitExceeded
+
+    workload = get_workload("histogram")
+    image = workload.compile(opt_level=3)
+    states = {}
+    for engine in ("reference", "fast"):
+        machine = Machine(image, workload.library("small"), seed=5,
+                          engine=engine)
+        with pytest.raises(CycleLimitExceeded):
+            machine.run(max_cycles=20_000)
+        states[engine] = (machine.total_cycles, machine.instructions,
+                          machine.wall_cycles,
+                          machine.perf_counters().snapshot())
+    assert states["reference"] == states["fast"]
+
+
+def test_plan_cache_dropped_with_decode_cache():
+    """invalidate_decode_cache() must drop execution plans too —
+    additive lifting patches code bytes in place."""
+    workload = get_workload("histogram")
+    image = workload.compile(opt_level=3)
+    machine = Machine(image, workload.library("small"), seed=1)
+    machine.run()
+    assert machine._plans, "fast run should have populated plans"
+    machine.invalidate_decode_cache()
+    assert not machine._plans
+    assert not machine._decode_cache
+    assert not machine._access_plans
+
+
+def test_unsanitized_machine_keeps_class_step():
+    """The fast engine is structural: no instance-level _step shadow,
+    which is what bench_sanitizer_overhead's 0%-off contract checks."""
+    workload = get_workload("histogram")
+    machine = Machine(workload.compile(opt_level=3),
+                      workload.library("small"), seed=1, engine="fast")
+    assert "_step" not in machine.__dict__
+
+
+def test_unknown_engine_rejected():
+    workload = get_workload("histogram")
+    with pytest.raises(ValueError):
+        Machine(workload.compile(opt_level=3), workload.library("small"),
+                engine="turbo")

@@ -66,6 +66,45 @@ class TestMemory:
             mem.write(0x2000 + offset, payload)
             assert mem.read(0x2000 + offset, len(payload)) == payload
 
+    def test_segments_reports_start_size_name(self):
+        # The docstring always promised (start, size, name); the seed
+        # implementation returned (start, end, name).  No in-tree call
+        # sites relied on the old shape (audited in PR 4).
+        mem = Memory()
+        mem.map(0x1000, 0x40, "a")
+        mem.map(0x4000, b"\x00" * 0x10, "b")
+        assert mem.segments() == [(0x1000, 0x40, "a"), (0x4000, 0x10, "b")]
+
+    def test_read_cstr_batched_within_segment(self):
+        mem = Memory()
+        mem.map(0x1000, 64)
+        mem.write(0x1010, b"hello\x00world")
+        assert mem.read_cstr(0x1010) == b"hello"
+        assert mem.read_cstr(0x1010, limit=3) == b"hel"   # limit, no NUL seen
+        mem.write(0x1000, b"\x00")
+        assert mem.read_cstr(0x1000) == b""
+
+    def test_read_cstr_continues_into_adjacent_segment(self):
+        mem = Memory()
+        mem.map(0x1000, 16, "lo")
+        mem.map(0x1010, 16, "hi")          # touching segments
+        mem.write(0x1000, b"0123456789abcdef")
+        mem.write(0x1010, b"ghij\x00")
+        assert mem.read_cstr(0x1000) == b"0123456789abcdefghij"
+
+    def test_read_cstr_faults_at_first_unmapped_byte(self):
+        mem = Memory()
+        mem.map(0x1000, 16)
+        mem.write(0x1000, b"0123456789abcdef")   # no NUL before the end
+        with pytest.raises(MemoryFault) as excinfo:
+            mem.read_cstr(0x1000)
+        assert excinfo.value.addr == 0x1010      # byte after the segment
+        assert excinfo.value.size == 1
+        # ...but a limit inside the segment never crosses the boundary.
+        assert mem.read_cstr(0x1000, limit=16) == b"0123456789abcdef"
+        with pytest.raises(MemoryFault):
+            mem.read_cstr(0x2000)                # wholly unmapped
+
 
 # -- machine harness --------------------------------------------------------------
 
@@ -383,6 +422,27 @@ class TestMachineBehaviour:
                          code.symbols["target"], "jump")] or seen
         assert seen[0][1] == code.symbols["target"]
         assert seen[0][2] == "jump"
+
+    def test_external_call_does_not_fire_indirect_hooks(self):
+        """Import-stub dispatch is an *external call*, not an indirect
+        control-flow transfer: tracers must never see it through
+        indirect_hooks (the seed had a vestigial no-op loop here)."""
+        image = Image()
+        asm = Assembler(base=0x400000)
+        asm.label("entry")
+        asm.emit(ins("mov", R("rdi"), I(65)))            # 'A'
+        asm.emit(ins("call", I(image.import_slot("putchar"))))
+        asm.emit(ins("ret"))
+        code = asm.assemble()
+        image.add_section(".text", code.base, code.data, executable=True)
+        image.entry = code.symbols["entry"]
+        machine = Machine(image, ExternalLibrary())
+        seen = []
+        machine.indirect_hooks.append(
+            lambda m, t, src, dst, kind: seen.append((src, dst, kind)))
+        machine.run()
+        assert machine.stdout == b"A"
+        assert seen == []
 
     def test_deterministic_across_runs(self, counter_mt_o3):
         from repro.core import run_image
