@@ -9,6 +9,13 @@ expected *shape* (the paper's findings):
 * O3 recompilation costs more, with *linear_regression* worst (its
   vectorised kernel gets scalarised);
 * *pca* keeps its fences (detector false negative), so FO == plain.
+
+Recompilations are served through the artifact cache
+(``common.artifact_cache``): warm re-runs of this bench skip the
+pipeline entirely and only re-measure the emulated runtimes.  Set
+``POLYNIMA_NO_CACHE=1`` to force fresh recompilations, or
+``POLYNIMA_CACHE_VERIFY=1`` to assert cached artifacts are
+bit-identical to fresh ones (see ``docs/REPRODUCING.md``).
 """
 
 import pytest

@@ -3,6 +3,11 @@
 The paper's shape: unoptimised (O0) inputs recompile close to the
 original, optimised (O3) inputs carry a moderate slowdown, with the
 geometric means around 1.1-1.2x (O0) and 1.3-1.6x (O3).
+
+Recompilations are served through the artifact cache: warm re-runs
+skip the pipeline entirely (``POLYNIMA_NO_CACHE=1`` forces fresh
+builds, ``POLYNIMA_CACHE_VERIFY=1`` cross-checks bit-identity; see
+``docs/REPRODUCING.md``).
 """
 
 import pytest

@@ -1,0 +1,127 @@
+"""Batch/cache smoke check: cold-then-warm over the artifact cache.
+
+Runs a batch of Phoenix recompilations twice against a fresh cache
+directory and asserts the cache contract end to end:
+
+* the cold run misses everything and actually executes pipeline
+  stages (visible as ``recompile.*`` spans in the per-job traces);
+* the warm run hits 100%, executes **zero** pipeline stages, returns
+  bit-identical artifacts, and is at least 5x faster wall-clock;
+* a ``--verify`` pass (recompile fresh on every hit, compare bytes)
+  passes, pinning the pipeline's bit-determinism promise.
+
+Runs under pytest (marker ``batch_smoke``) and as a script::
+
+    PYTHONPATH=src python benchmarks/smoke_batch.py [--jobs N] [--full]
+
+The script form (used by CI) covers 3 workloads; ``--full`` and the
+pytest test cover the whole 7-kernel Phoenix suite.
+"""
+
+import os
+import sys
+import tempfile
+
+import pytest
+
+from repro.core import ArtifactCache, RecompileJob, run_batch
+
+pytestmark = pytest.mark.batch_smoke
+
+SMOKE_WORKLOADS = ["histogram", "kmeans", "string_match"]
+FULL_WORKLOADS = ["histogram", "kmeans", "linear_regression",
+                  "matrix_multiply", "pca", "string_match", "word_count"]
+OPT_LEVEL = 0
+MIN_SPEEDUP = 5.0
+
+
+def run_smoke(cache_dir: str, workloads=None, jobs_n: int = 1,
+              verify: bool = True) -> dict:
+    """Cold + warm (+ optional verify) batches; returns a summary."""
+    names = workloads or SMOKE_WORKLOADS
+    jobs = [RecompileJob(workload=name, opt_level=OPT_LEVEL)
+            for name in names]
+
+    cold = run_batch(jobs, jobs_n=jobs_n, cache=ArtifactCache(cache_dir))
+    assert cold.ok, [r.error for r in cold.results if r.error]
+    assert cold.hits == 0, "cache directory was not cold"
+    assert cold.pipeline_stage_spans() > 0, \
+        "cold batch executed no pipeline stages?"
+
+    # A separate ArtifactCache object: hits must come from disk, not
+    # any in-memory state.
+    warm = run_batch(jobs, jobs_n=1, cache=ArtifactCache(cache_dir))
+    assert warm.ok, [r.error for r in warm.results if r.error]
+    assert warm.hit_rate == 1.0, \
+        f"warm hit rate {warm.hit_rate:.0%}, expected 100%"
+    assert warm.pipeline_stage_spans() == 0, \
+        "a warm batch must not execute any pipeline stage"
+    assert [r.image_sha256 for r in warm.results] == \
+        [r.image_sha256 for r in cold.results], \
+        "cached artifacts differ from the cold run"
+    speedup = cold.wall_seconds / max(warm.wall_seconds, 1e-9)
+    assert speedup >= MIN_SPEEDUP, \
+        f"warm batch only {speedup:.1f}x faster (floor {MIN_SPEEDUP}x)"
+
+    verified = None
+    if verify:
+        check = run_batch(jobs, jobs_n=1, cache=ArtifactCache(cache_dir),
+                          verify=True)
+        assert check.ok, [r.error for r in check.results if r.error]
+        assert all(r.verified for r in check.results), \
+            "verify pass did not verify every hit"
+        verified = True
+
+    return {"jobs": len(jobs), "cold_seconds": cold.wall_seconds,
+            "warm_seconds": warm.wall_seconds, "speedup": speedup,
+            "cold_executor": cold.executor, "verified": verified,
+            "sha256": [r.image_sha256[:12] for r in warm.results]}
+
+
+def test_smoke_batch(tmp_path):
+    """The full Phoenix suite: warm batch does zero pipeline work."""
+    summary = run_smoke(str(tmp_path / "cache"), workloads=FULL_WORKLOADS)
+    assert summary["jobs"] == len(FULL_WORKLOADS)
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="parallel speedup needs >=4 cores")
+def test_parallel_cold_beats_serial(tmp_path):
+    """A cold --jobs 3 batch outruns the same batch serially."""
+    jobs = [RecompileJob(workload=name, opt_level=OPT_LEVEL)
+            for name in SMOKE_WORKLOADS]
+    serial = run_batch(jobs, jobs_n=1,
+                       cache=ArtifactCache(str(tmp_path / "serial")))
+    pooled = run_batch(jobs, jobs_n=3,
+                       cache=ArtifactCache(str(tmp_path / "pooled")))
+    assert serial.ok and pooled.ok
+    assert pooled.executor == "process"
+    assert [r.image_sha256 for r in pooled.results] == \
+        [r.image_sha256 for r in serial.results]
+    assert pooled.wall_seconds < serial.wall_seconds, \
+        (f"pooled {pooled.wall_seconds:.1f}s not faster than "
+         f"serial {serial.wall_seconds:.1f}s")
+
+
+def main(argv) -> int:
+    jobs_n = 1
+    workloads = SMOKE_WORKLOADS
+    if "--jobs" in argv:
+        jobs_n = int(argv[argv.index("--jobs") + 1])
+    if "--full" in argv:
+        workloads = FULL_WORKLOADS
+    with tempfile.TemporaryDirectory(prefix="polynima-batch-smoke-") as tmp:
+        summary = run_smoke(tmp, workloads=workloads, jobs_n=jobs_n)
+    print(f"batch smoke OK: {summary['jobs']} jobs, "
+          f"cold {summary['cold_seconds']:.1f}s "
+          f"({summary['cold_executor']}) -> "
+          f"warm {summary['warm_seconds']:.2f}s "
+          f"({summary['speedup']:.0f}x), "
+          f"verify={'ok' if summary['verified'] else 'skipped'}")
+    for name, sha in zip(workloads, summary["sha256"]):
+        print(f"  {name:<18} {sha}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

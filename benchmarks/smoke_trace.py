@@ -40,8 +40,10 @@ def run_smoke(trace_path: str) -> dict:
     """Recompile + validate; returns a summary dict for the CLI user."""
     workload = get_workload(WORKLOAD)
     tracer = Tracer()
+    # cache=None: this smoke validates the *live* pipeline spans, so a
+    # warm artifact-cache hit (zero spans) must not short-circuit it.
     result, _ = hybrid_recompile(workload, OPT_LEVEL, size=SIZE,
-                                 tracer=tracer)
+                                 tracer=tracer, cache=None)
     tracer.save(trace_path)
 
     with open(trace_path) as handle:

@@ -16,6 +16,10 @@ Subcommands::
     polynima stats    <prog.vxe> [--json out.json] [--tsan]  # counters
     polynima tsan     <prog.vxe> [--strict] [--json]    # race detector
     polynima workloads [--group phoenix]                # list benchmarks
+    polynima batch    [manifest.json | --group phoenix] # parallel + cached
+                      [--jobs N] [--cache-dir D] [--no-cache] [--verify]
+
+Full reference with examples: ``docs/CLI.md``.
 """
 
 from __future__ import annotations
@@ -234,6 +238,49 @@ def cmd_workloads(args) -> int:
     return 0
 
 
+def cmd_batch(args) -> int:
+    """``polynima batch``: recompile many binaries in parallel through
+    the content-addressed artifact cache.
+
+    Jobs come from a JSON manifest (see ``docs/CLI.md``) or are built
+    from ``--group``/``--workload``/``--opt``.  Exit status: 0 when
+    every job succeeded, 1 otherwise.
+    """
+    from .core import (ArtifactCache, BatchError, default_cache_dir,
+                       jobs_for_group, load_manifest, run_batch)
+    try:
+        if args.manifest:
+            jobs = load_manifest(args.manifest)
+        elif args.group:
+            jobs = jobs_for_group(
+                args.group, opt_levels=tuple(args.opt or [3]),
+                names=args.workload or None, fence_opt=args.fence_opt,
+                seed=args.seed, size=args.size)
+        else:
+            print("batch: need a manifest file or --group", file=sys.stderr)
+            return 2
+        cache = None
+        if not args.no_cache:
+            cache = ArtifactCache(args.cache_dir or default_cache_dir())
+        result = run_batch(jobs, jobs_n=args.jobs, cache=cache,
+                           verify=args.verify)
+    except BatchError as exc:
+        print(f"batch: {exc}", file=sys.stderr)
+        return 2
+    print(result.format_summary())
+    for job in result.results:
+        if job.error:
+            print(f"[{job.name}] {job.error}", file=sys.stderr)
+    if args.trace_out:
+        result.save_trace(args.trace_out)
+        print(f"wrote {args.trace_out}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result.as_dict(), handle, indent=1, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for every subcommand."""
     parser = argparse.ArgumentParser(
@@ -322,6 +369,41 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("workloads", help="list benchmark workloads")
     p.add_argument("--group")
     p.set_defaults(func=cmd_workloads)
+
+    p = sub.add_parser("batch", help="parallel batch recompilation "
+                                     "through the artifact cache")
+    p.add_argument("manifest", nargs="?",
+                   help="JSON job manifest ({'jobs': [...]} or a bare "
+                        "list); omit to use --group/--workload")
+    p.add_argument("--group",
+                   help="build jobs from a workload suite "
+                        "(phoenix/gapbs/ckit/realworld/spec)")
+    p.add_argument("--workload", action="append", metavar="NAME",
+                   help="restrict --group to these workloads (repeatable)")
+    p.add_argument("--opt", action="append", type=int, metavar="N",
+                   choices=(0, 2, 3),
+                   help="opt level(s) for --group jobs (repeatable; "
+                        "default 3)")
+    p.add_argument("--fence-opt", action="store_true",
+                   help="run the §3.4 fence-removal analysis per job")
+    p.add_argument("--size", help="workload input size tier")
+    p.add_argument("--seed", type=int, default=21,
+                   help="seed for the dynamic analyses (default 21)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes (default 1 = in-process)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="artifact cache directory (default "
+                        "$POLYNIMA_CACHE_DIR or ~/.cache/polynima)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="always recompile; do not read or write the cache")
+    p.add_argument("--verify", action="store_true",
+                   help="on every cache hit, recompile fresh and fail "
+                        "unless the artifact is bit-identical")
+    p.add_argument("--trace-out", metavar="TRACE.json",
+                   help="write a merged Chrome trace (one lane per job)")
+    p.add_argument("--json", metavar="OUT.json",
+                   help="write the batch summary as JSON")
+    p.set_defaults(func=cmd_batch)
     return parser
 
 

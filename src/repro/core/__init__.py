@@ -9,6 +9,12 @@ IR-to-machine-code backend producing standalone replacement binaries.
 """
 
 from .additive import AdditiveLifting, AdditiveReport
+from .artifact_cache import (ARTIFACT_FORMAT, PIPELINE_VERSION, ArtifactCache,
+                             CacheError, CachedArtifact, default_cache_dir,
+                             stable_digest)
+from .batch import (BatchError, BatchResult, CachedRecompilation, JobResult,
+                    RecompileJob, execute_job, hybrid_recompile,
+                    jobs_for_group, load_manifest, run_batch)
 from .callbacks import CallbackReport, discover_callbacks
 from .fence_opt import FenceOptReport, optimize_fences
 from .spinloop import (NON_SPINNING, SPINNING, UNCOVERED, LoopVerdict,
@@ -34,6 +40,11 @@ from .vstate import EMUSTACK_SIZE, TLS_BLOCK_SIZE, VirtualState
 
 __all__ = [
     "AdditiveLifting", "AdditiveReport",
+    "ARTIFACT_FORMAT", "PIPELINE_VERSION", "ArtifactCache", "CacheError",
+    "CachedArtifact", "default_cache_dir", "stable_digest",
+    "BatchError", "BatchResult", "CachedRecompilation", "JobResult",
+    "RecompileJob", "execute_job", "hybrid_recompile", "jobs_for_group",
+    "load_manifest", "run_batch",
     "CallbackReport", "discover_callbacks",
     "FenceOptReport", "optimize_fences",
     "NON_SPINNING", "SPINNING", "UNCOVERED", "LoopVerdict",

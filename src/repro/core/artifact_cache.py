@@ -1,0 +1,312 @@
+"""Content-addressed on-disk cache for recompilation artifacts.
+
+Recompilation is a *pure function* of its inputs: the input image
+bytes, the pipeline configuration (opt level, fence mode, callback /
+additive options, seed for the dynamic analyses) and the pipeline
+implementation itself.  The engine-equivalence and recompile-property
+tests verify this determinism bit-for-bit, which makes the outputs
+cacheable: the evaluation recompiles dozens of (workload, opt level,
+fence mode) combinations, and every one after the first run of a
+configuration is a pure cache hit.
+
+:class:`ArtifactCache` stores one artifact per *digest* — a SHA-256
+over a canonical JSON encoding of ``{image sha, options, pipeline
+version}`` (:func:`stable_digest`).  The digest is stable across
+processes and hash seeds, so parallel batch workers and repeat bench
+invocations share entries.  Bumping :data:`PIPELINE_VERSION` (done
+whenever a pipeline change alters output bytes) invalidates every
+entry at once without touching the disk.
+
+Entry files are self-verifying: a JSON header line carrying the digest
+and a SHA-256 of the payload, then the raw payload bytes.  Reads check
+both; any mismatch (truncation, bit-flip, foreign file) deletes the
+entry and reports a miss — a corrupt cache can cost time, never
+correctness.  Writes go through a temp file + ``os.replace`` so
+readers and concurrent writers only ever observe complete entries.
+
+Hit/miss/put/evict/corrupt totals are published into a
+:class:`repro.observability.Counters` registry under ``cache.*``
+(conventions in ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..observability import Counters
+
+#: Stamp mixed into every digest.  Bump when a pipeline change makes
+#: recompilation outputs differ byte-for-byte from earlier versions —
+#: every existing cache entry then misses, with no migration needed.
+PIPELINE_VERSION = "polynima-pipeline-v1"
+
+#: Format marker written into (and required from) entry headers.
+ARTIFACT_FORMAT = "polynima-artifact-v1"
+
+#: File suffix for cache entries.
+_ENTRY_SUFFIX = ".art"
+
+
+def _canonical(value: Any) -> Any:
+    """Normalise an option value into a deterministic JSON shape.
+
+    Sets/frozensets and tuples become sorted/plain lists so that the
+    digest does not depend on insertion or iteration order; nested
+    containers are normalised recursively.
+    """
+    if isinstance(value, (set, frozenset)):
+        return sorted(_canonical(v) for v in value)
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, bytes):
+        return hashlib.sha256(value).hexdigest()
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"option value {value!r} is not digestable")
+
+
+def stable_digest(image_bytes: bytes, version: str = PIPELINE_VERSION,
+                  **options: Any) -> str:
+    """The cache key: SHA-256 over a canonical JSON of the inputs.
+
+    ``options`` carries every pipeline knob that can change the output
+    (opt level, fence mode, callbacks, seed, input size, overrides).
+    The image contributes via its own SHA-256, so two workloads that
+    happen to compile to identical bytes share artifacts — the cache
+    is content-addressed, not name-addressed.
+    """
+    key = {
+        "image_sha256": hashlib.sha256(image_bytes).hexdigest(),
+        "options": _canonical(options),
+        "version": version,
+    }
+    blob = json.dumps(key, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CachedArtifact:
+    """One cache hit: the stored payload plus its metadata."""
+    digest: str
+    image_bytes: bytes
+    meta: Dict[str, Any]
+    path: str
+
+
+class CacheError(Exception):
+    """Raised for unusable cache roots (not for corrupt entries, which
+    are self-healing misses)."""
+    pass
+
+
+class ArtifactCache:
+    """A content-addressed store of recompiled images on disk.
+
+    Parameters:
+
+    * ``root`` — cache directory (created on first write);
+    * ``version`` — pipeline stamp mixed into digests
+      (:data:`PIPELINE_VERSION` unless testing invalidation);
+    * ``counters`` — optional shared :class:`Counters` registry; a
+      private one is created otherwise (``cache.*`` names either way);
+    * ``max_entries`` — optional size cap; on overflow the
+      least-recently-*written* entries are evicted.
+    """
+
+    def __init__(self, root: str, version: str = PIPELINE_VERSION,
+                 counters: Optional[Counters] = None,
+                 max_entries: Optional[int] = None) -> None:
+        self.root = os.path.abspath(root)
+        self.version = version
+        self.counters = counters if counters is not None else Counters()
+        self.max_entries = max_entries
+
+    # -- keys ------------------------------------------------------------------
+
+    def digest(self, image_bytes: bytes, **options: Any) -> str:
+        """Digest for this cache's pipeline version (see
+        :func:`stable_digest`)."""
+        return stable_digest(image_bytes, version=self.version, **options)
+
+    # -- paths -----------------------------------------------------------------
+
+    def _entry_path(self, digest: str) -> str:
+        # Two-level fan-out keeps directories small at scale.
+        return os.path.join(self.root, digest[:2], digest + _ENTRY_SUFFIX)
+
+    # -- reads -----------------------------------------------------------------
+
+    def get(self, digest: str) -> Optional[CachedArtifact]:
+        """Fetch an artifact; ``None`` on miss.  Corrupt entries are
+        deleted and counted (``cache.corrupt``) before missing."""
+        path = self._entry_path(digest)
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except (FileNotFoundError, NotADirectoryError):
+            self.counters.inc("cache.misses")
+            return None
+        except OSError:
+            self.counters.inc("cache.misses")
+            self.counters.inc("cache.errors")
+            return None
+        entry = self._parse_entry(digest, raw)
+        if entry is None:
+            self._discard_corrupt(path)
+            self.counters.inc("cache.misses")
+            return None
+        self.counters.inc("cache.hits")
+        header, payload = entry
+        return CachedArtifact(digest=digest, image_bytes=payload,
+                              meta=header.get("meta", {}), path=path)
+
+    def _parse_entry(self, digest: str,
+                     raw: bytes) -> Optional[Tuple[Dict[str, Any], bytes]]:
+        """Split and verify an entry file; ``None`` if anything is off."""
+        newline = raw.find(b"\n")
+        if newline < 0:
+            return None
+        try:
+            header = json.loads(raw[:newline].decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None
+        if not isinstance(header, dict):
+            return None
+        if header.get("format") != ARTIFACT_FORMAT:
+            return None
+        if header.get("digest") != digest:
+            return None
+        payload = raw[newline + 1:]
+        if hashlib.sha256(payload).hexdigest() != header.get("payload_sha256"):
+            return None
+        return header, payload
+
+    def _discard_corrupt(self, path: str) -> None:
+        self.counters.inc("cache.corrupt")
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    # -- writes ----------------------------------------------------------------
+
+    def put(self, digest: str, image_bytes: bytes,
+            meta: Optional[Dict[str, Any]] = None) -> str:
+        """Store an artifact atomically; returns the entry path.
+        Re-putting an existing digest overwrites (last write wins —
+        deterministic pipelines write identical bytes anyway)."""
+        path = self._entry_path(digest)
+        header = {
+            "format": ARTIFACT_FORMAT,
+            "digest": digest,
+            "payload_sha256": hashlib.sha256(image_bytes).hexdigest(),
+            "version": self.version,
+            "meta": meta or {},
+        }
+        blob = json.dumps(header, sort_keys=True).encode("utf-8")
+        directory = os.path.dirname(path)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        except OSError as exc:
+            raise CacheError(f"cache root {self.root!r} unusable: {exc}")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+                handle.write(b"\n")
+                handle.write(image_bytes)
+            os.replace(tmp, path)       # atomic publish
+        except OSError:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        self.counters.inc("cache.puts")
+        if self.max_entries is not None:
+            self._evict_over(self.max_entries)
+        return path
+
+    def _evict_over(self, limit: int) -> None:
+        entries = self.entries()
+        if len(entries) <= limit:
+            return
+        entries.sort(key=lambda item: item[1])      # oldest mtime first
+        for path, _mtime in entries[:len(entries) - limit]:
+            try:
+                os.remove(path)
+                self.counters.inc("cache.evictions")
+            except OSError:
+                pass
+
+    # -- maintenance -----------------------------------------------------------
+
+    def entries(self) -> List[Tuple[str, float]]:
+        """Every entry as ``(path, mtime)`` (unsorted)."""
+        found: List[Tuple[str, float]] = []
+        if not os.path.isdir(self.root):
+            return found
+        for sub in os.listdir(self.root):
+            subdir = os.path.join(self.root, sub)
+            if not os.path.isdir(subdir):
+                continue
+            for name in os.listdir(subdir):
+                if not name.endswith(_ENTRY_SUFFIX):
+                    continue
+                path = os.path.join(subdir, name)
+                try:
+                    found.append((path, os.path.getmtime(path)))
+                except OSError:
+                    continue
+        return found
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def __contains__(self, digest: str) -> bool:
+        return os.path.exists(self._entry_path(digest))
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were removed."""
+        removed = 0
+        for path, _mtime in self.entries():
+            try:
+                os.remove(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    # -- stats -----------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return int(self.counters.get("cache.hits"))
+
+    @property
+    def misses(self) -> int:
+        return int(self.counters.get("cache.misses"))
+
+    def stats(self) -> Dict[str, int]:
+        """The ``cache.*`` counters as a plain dict."""
+        return {name: int(value) for name, value
+                in self.counters.with_prefix("cache.").items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<ArtifactCache {self.root} v={self.version!r}>"
+
+
+def default_cache_dir() -> str:
+    """The CLI's default cache location: ``$POLYNIMA_CACHE_DIR`` if
+    set, else ``~/.cache/polynima``."""
+    env = os.environ.get("POLYNIMA_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "polynima")

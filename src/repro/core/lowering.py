@@ -430,8 +430,12 @@ class FunctionLowering:
                           if isinstance(i, Call)]
         rax_clobbers = [self._pos[i] for _b, i in self._linear
                         if isinstance(i, (Cmpxchg, AtomicRMW))]
+        # ``starts`` insertion order follows live-set iteration, which is
+        # identity-hash (heap-address) dependent; break (start, end) ties
+        # by vreg creation order so allocation — and hence the emitted
+        # register bytes — is identical across processes.
         intervals = [(starts[v], ends[v], v) for v in starts]
-        intervals.sort(key=lambda t: (t[0], t[1]))
+        intervals.sort(key=lambda t: (t[0], t[1], t[2].id))
         return intervals, sorted(call_positions), sorted(rax_clobbers)
 
     def _allocate(self, intervals, call_positions, rax_clobbers) -> None:

@@ -122,11 +122,28 @@ def dominates(a: Block, b: Block, idom: Dict[Block, Optional[Block]]) -> bool:
 
 
 class Loop:
-    """A natural loop: header + body blocks + exits."""
+    """A natural loop: header + body blocks + exits.
+
+    ``blocks`` is kept as a set-like view in *function order* (layout
+    order of the parent function).  Plain ``Set[Block]`` iteration
+    follows object identity hashes, which vary between processes; loop
+    transforms (LICM, scalar promotion) visit ``loop.blocks`` and the
+    recompiler promises bit-identical output for identical inputs, so
+    the iteration order must be deterministic.
+    """
 
     def __init__(self, header: Block, blocks: Set[Block]) -> None:
         self.header = header
-        self.blocks = blocks
+        fn = header.parent
+        if fn is not None:
+            position = {block: i for i, block in enumerate(fn.blocks)}
+            ordered = sorted(blocks,
+                             key=lambda b: position.get(b, len(position)))
+        else:       # synthetic loops in tests: fall back to names
+            ordered = sorted(blocks, key=lambda b: b.name)
+        # dict keys preserve order and behave as a read-only set
+        # (membership, len, iteration, set algebra).
+        self.blocks = dict.fromkeys(ordered).keys()
 
     def exit_edges(self) -> List[Tuple[Block, Block]]:
         """Edges leaving the loop: (inside block, outside successor) pairs."""

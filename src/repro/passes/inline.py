@@ -92,7 +92,13 @@ def inline_call(call: Call, module: Module) -> bool:
     value_map: Dict = {}
     for param, arg in zip(callee.params, call.operands):
         value_map[param] = arg
-    suffix = f"inl{id(call) & 0xFFFF:x}"
+    # The suffix must be derived from stable facts about the call site,
+    # never from object identity: cloned names feed name-ordered
+    # decisions downstream (loop block ordering, exit sorting), and
+    # recompilation promises bit-identical output across processes.
+    # (block name, instruction index) is unique per inlined site — the
+    # call is removed as part of inlining, so it cannot recur.
+    suffix = f"inl.{block.name}.{index}"
     new_blocks = clone_function_body(callee, value_map, caller, suffix)
     entry_clone = new_blocks[0]
     block.append(Br(entry_clone))

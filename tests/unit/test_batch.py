@@ -1,0 +1,225 @@
+"""Unit tests for batch recompilation (jobs, cache wiring, executors).
+
+Full hybrid recompilations take seconds each, so these tests drive the
+*static* pipeline over tiny mini-C binaries — the job/cache/executor
+machinery under test is identical; the hybrid path gets one
+integration test plus the ``benchmarks/smoke_batch.py`` smoke run.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core import (ArtifactCache, BatchError, RecompileJob, execute_job,
+                        jobs_for_group, load_manifest, run_batch)
+from repro.minicc import compile_minic
+
+
+SOURCE = """
+int add(int a, int b) { return a + b; }
+int main() {
+  int total = 0;
+  for (int i = 0; i < 10; i = i + 1) total = add(total, i);
+  return total;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def tiny_binaries(tmp_path_factory):
+    """Three small .vxe files compiled at different opt levels."""
+    root = tmp_path_factory.mktemp("bins")
+    paths = []
+    for opt in (0, 2, 3):
+        image = compile_minic(SOURCE, opt_level=opt)
+        path = str(root / f"tiny_o{opt}.vxe")
+        image.save(path)
+        paths.append(path)
+    return paths
+
+
+# ---------------------------------------------------------------------------
+# Job descriptions
+
+
+class TestRecompileJob:
+
+    def test_name(self):
+        assert RecompileJob(workload="histogram", opt_level=0).name == \
+            "histogram/O0"
+        assert RecompileJob(workload="kmeans", opt_level=3,
+                            fence_opt=True).name == "kmeans/O3+fo"
+        assert RecompileJob(binary="/x/y/prog.vxe").name == "prog.vxe"
+
+    def test_validate_rejects_neither_and_both(self):
+        with pytest.raises(BatchError):
+            RecompileJob().validate()
+        with pytest.raises(BatchError):
+            RecompileJob(workload="a", binary="b").validate()
+
+    def test_dict_roundtrip(self):
+        job = RecompileJob(workload="pca", opt_level=3, fence_opt=True,
+                           seed=7)
+        again = RecompileJob.from_dict(job.as_dict())
+        assert again == job
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(BatchError, match="unknown job fields"):
+            RecompileJob.from_dict({"workload": "pca", "optlvl": 3})
+
+    def test_load_manifest(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps({"jobs": [
+            {"workload": "histogram", "opt_level": 0},
+            {"workload": "kmeans", "opt_level": 3, "fence_opt": True},
+        ]}))
+        jobs = load_manifest(str(path))
+        assert [j.name for j in jobs] == ["histogram/O0", "kmeans/O3+fo"]
+        # Bare-list form.
+        path.write_text(json.dumps([{"workload": "pca"}]))
+        assert load_manifest(str(path))[0].workload == "pca"
+
+    def test_jobs_for_group(self):
+        jobs = jobs_for_group("phoenix", opt_levels=[0])
+        assert len(jobs) == 7
+        assert all(j.opt_level == 0 for j in jobs)
+        subset = jobs_for_group("phoenix", names=["histogram"],
+                                opt_levels=[0, 3])
+        assert [j.name for j in subset] == ["histogram/O0", "histogram/O3"]
+        with pytest.raises(BatchError):
+            jobs_for_group("no-such-suite")
+
+
+# ---------------------------------------------------------------------------
+# Execution + cache wiring (static pipeline: fast)
+
+
+class TestExecuteJob:
+
+    def test_cold_then_warm(self, tiny_binaries, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "cache"))
+        job = RecompileJob(binary=tiny_binaries[0])
+        cold = execute_job(job, 0, cache=cache)
+        assert cold.ok and not cold.cached
+        assert cold.pipeline_span_names()          # stages actually ran
+        warm = execute_job(job, 0, cache=cache)
+        assert warm.ok and warm.cached
+        assert warm.pipeline_span_names() == []    # pure hit: no stages
+        assert warm.image_sha256 == cold.image_sha256
+        assert warm.digest == cold.digest
+
+    def test_verify_on_hit(self, tiny_binaries, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "cache"))
+        job = RecompileJob(binary=tiny_binaries[0])
+        execute_job(job, 0, cache=cache)
+        verified = execute_job(job, 0, cache=cache, verify=True)
+        assert verified.ok and verified.cached and verified.verified
+
+    def test_verify_catches_forged_entry(self, tiny_binaries, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "cache"))
+        job = RecompileJob(binary=tiny_binaries[0])
+        cold = execute_job(job, 0, cache=cache)
+        # Forge the entry: valid format, wrong payload.
+        other = open(tiny_binaries[1], "rb").read()
+        cache.put(cold.digest, other)
+        result = execute_job(job, 0, cache=cache, verify=True)
+        assert not result.ok
+        assert "differs" in result.error
+
+    def test_output_file_written(self, tiny_binaries, tmp_path):
+        out = str(tmp_path / "out.vxe")
+        job = RecompileJob(binary=tiny_binaries[0], output=out)
+        result = execute_job(job, 0, cache=None)
+        assert result.ok and os.path.getsize(out) == result.image_size
+
+    def test_error_reported_not_raised(self, tmp_path):
+        job = RecompileJob(binary=str(tmp_path / "missing.vxe"))
+        result = execute_job(job, 0, cache=None)
+        assert not result.ok
+        assert "missing.vxe" in result.error
+
+
+class TestRunBatch:
+
+    def test_inprocess_ordering(self, tiny_binaries, tmp_path):
+        jobs = [RecompileJob(binary=p) for p in reversed(tiny_binaries)]
+        batch = run_batch(jobs, jobs_n=1,
+                          cache=ArtifactCache(str(tmp_path / "c")))
+        assert batch.ok and batch.executor == "inline"
+        assert [r.index for r in batch.results] == [0, 1, 2]
+        assert [r.name for r in batch.results] == \
+            [j.name for j in jobs]
+
+    def test_process_pool_matches_inline(self, tiny_binaries, tmp_path):
+        jobs = [RecompileJob(binary=p) for p in tiny_binaries]
+        pooled = run_batch(jobs, jobs_n=2,
+                           cache=ArtifactCache(str(tmp_path / "pool")))
+        inline = run_batch(jobs, jobs_n=1,
+                           cache=ArtifactCache(str(tmp_path / "inline")))
+        assert pooled.ok and pooled.executor == "process"
+        assert [r.image_sha256 for r in pooled.results] == \
+            [r.image_sha256 for r in inline.results]
+
+    def test_inprocess_env_forces_inline(self, tiny_binaries, tmp_path,
+                                         monkeypatch):
+        monkeypatch.setenv("POLYNIMA_BATCH_INPROCESS", "1")
+        jobs = [RecompileJob(binary=p) for p in tiny_binaries]
+        batch = run_batch(jobs, jobs_n=4, cache=None)
+        assert batch.ok and batch.executor == "inline"
+
+    def test_warm_batch_full_hit_rate(self, tiny_binaries, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "cache"))
+        jobs = [RecompileJob(binary=p) for p in tiny_binaries]
+        cold = run_batch(jobs, jobs_n=1, cache=cache)
+        warm = run_batch(jobs, jobs_n=1, cache=cache)
+        assert cold.hit_rate == 0.0 and warm.hit_rate == 1.0
+        assert warm.pipeline_stage_spans() == 0
+        assert cache.counters.get("cache.hits") == len(jobs)
+
+    def test_merged_trace_valid(self, tiny_binaries, tmp_path):
+        from repro.observability import Tracer
+        jobs = [RecompileJob(binary=p) for p in tiny_binaries]
+        batch = run_batch(jobs, jobs_n=1, cache=None)
+        trace = batch.trace()
+        Tracer.validate_chrome_trace(trace)
+        # One thread lane per job.
+        tids = {ev["tid"] for ev in trace["traceEvents"]}
+        assert len(tids) == len(jobs)
+
+    def test_summary_shapes(self, tiny_binaries):
+        jobs = [RecompileJob(binary=tiny_binaries[0])]
+        batch = run_batch(jobs, jobs_n=1, cache=None)
+        text = batch.format_summary()
+        assert "tiny_o0.vxe" in text
+        data = batch.as_dict()
+        assert data["jobs"][0]["name"] == "tiny_o0.vxe"
+
+    def test_bad_job_does_not_sink_batch(self, tiny_binaries):
+        jobs = [RecompileJob(binary=tiny_binaries[0]),
+                RecompileJob(binary="/nope/nothing.vxe")]
+        batch = run_batch(jobs, jobs_n=1, cache=None)
+        assert not batch.ok
+        assert batch.results[0].ok and not batch.results[1].ok
+
+
+# ---------------------------------------------------------------------------
+# Hybrid-path integration (one real workload; seconds, not minutes)
+
+
+class TestHybridIntegration:
+
+    def test_hybrid_cold_warm_identical(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "cache"))
+        job = RecompileJob(workload="histogram", opt_level=0)
+        cold = execute_job(job, 0, cache=cache)
+        assert cold.ok and not cold.cached, cold.error
+        assert any(n.startswith("recompile.")
+                   for n in cold.pipeline_span_names())
+        warm = execute_job(job, 0, cache=cache)
+        assert warm.ok and warm.cached
+        assert warm.pipeline_span_names() == []
+        assert warm.image_sha256 == cold.image_sha256
+        # Stats survive the cache roundtrip.
+        assert warm.stats.get("blocks_recovered") == \
+            cold.stats.get("blocks_recovered")

@@ -1,0 +1,105 @@
+"""Documentation coverage: the docs must track the code.
+
+``docs/CLI.md`` documents every ``polynima`` subcommand; this test
+walks the real argparse tree so adding a subcommand or option without
+documenting it fails CI.  ``docs/REPRODUCING.md`` must mention every
+bench script, and the README must link both documents.
+"""
+
+import argparse
+import glob
+import os
+import re
+
+import pytest
+
+from repro.cli import build_parser
+
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+def _read(*parts):
+    path = os.path.join(REPO, *parts)
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _subparsers(parser):
+    """name -> subcommand parser, from the argparse tree."""
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return dict(action.choices)
+    raise AssertionError("CLI has no subparsers")
+
+
+class TestCliDoc:
+
+    @pytest.fixture(scope="class")
+    def cli_md(self):
+        return _read("docs", "CLI.md")
+
+    def test_every_subcommand_documented(self, cli_md):
+        for name in _subparsers(build_parser()):
+            assert f"## {name}" in cli_md, \
+                f"docs/CLI.md lacks a section for subcommand {name!r}"
+
+    def test_every_long_option_documented(self, cli_md):
+        """Each subcommand's long options must appear in the doc."""
+        missing = []
+        for name, sub in _subparsers(build_parser()).items():
+            for action in sub._actions:
+                for opt in action.option_strings:
+                    if not opt.startswith("--"):
+                        continue
+                    if opt == "--help":
+                        continue
+                    if f"`{opt}" not in cli_md:
+                        missing.append(f"{name} {opt}")
+        assert not missing, \
+            f"docs/CLI.md does not mention: {', '.join(missing)}"
+
+    def test_no_phantom_subcommands(self, cli_md):
+        """Sections must correspond to real subcommands (no dead docs)."""
+        real = set(_subparsers(build_parser()))
+        documented = set(re.findall(r"^## (\w+)$", cli_md, re.M))
+        assert documented <= real, \
+            f"docs/CLI.md documents unknown commands: {documented - real}"
+
+
+class TestReproducingDoc:
+
+    def test_every_bench_mentioned(self):
+        doc = _read("docs", "REPRODUCING.md")
+        benches = glob.glob(os.path.join(REPO, "benchmarks", "bench_*.py"))
+        assert benches, "no bench scripts found"
+        missing = [os.path.basename(p) for p in benches
+                   if os.path.basename(p) not in doc]
+        assert not missing, \
+            f"docs/REPRODUCING.md does not mention: {missing}"
+
+    def test_smoke_scripts_mentioned(self):
+        doc = _read("docs", "REPRODUCING.md")
+        for smoke in ("smoke_trace.py", "smoke_batch.py"):
+            assert smoke in doc
+
+
+class TestCrossReferences:
+
+    def test_readme_links_docs(self):
+        readme = _read("README.md")
+        for doc in ("docs/REPRODUCING.md", "docs/CLI.md",
+                    "docs/ARCHITECTURE.md", "docs/OBSERVABILITY.md",
+                    "docs/PERFORMANCE.md", "docs/SANITIZERS.md"):
+            assert doc in readme, f"README.md does not link {doc}"
+
+    def test_docs_cross_reference_each_other(self):
+        # Every doc must point at least back to the reproduction guide
+        # or the architecture overview, so no page is a dead end.
+        for name in ("ARCHITECTURE.md", "OBSERVABILITY.md",
+                     "PERFORMANCE.md", "SANITIZERS.md", "CLI.md"):
+            doc = _read("docs", name)
+            others = re.findall(r"\[([A-Z]+\.md)\]\(", doc) + \
+                re.findall(r"docs/([A-Z]+\.md)", doc)
+            assert others, f"docs/{name} references no sibling docs"
