@@ -30,6 +30,7 @@ from ..core.cfg import RecoveredCFG
 from ..core.disassembler import Disassembler
 from ..core.recompiler import Recompiler
 from ..isa import Imm, Mem, Reg
+from ..isa.spec import SPEC
 from .common import BaselineOutcome
 
 _THREAD_STACK_SINKS = {"pthread_create"}
@@ -47,10 +48,10 @@ def _static_preconditions(image: Image,
         for block in fn.blocks.values():
             stack_regs = {"rsp", "rbp"}
             for instr in disasm.block_instructions(block.start, block.end):
-                if instr.lock or instr.mnemonic in ("cmpxchg", "xadd") or \
-                        (instr.mnemonic == "xchg" and
-                         any(isinstance(op, Mem)
-                             for op in instr.operands)):
+                # Locked RMWs, implicitly-locked xchg-with-memory, and
+                # the dedicated RMW primitives (cmpxchg/xadd even
+                # unlocked) have no mctoll-style static lowering.
+                if instr.is_atomic or SPEC[instr.mnemonic].hw_rmw:
                     return (f"hardware atomic instruction at "
                             f"{instr.address:#x} (no mctoll lowering)")
                 # Unbounded frame: stack pointer adjusted by a register.

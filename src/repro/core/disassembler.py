@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..binfmt import Image
 from ..isa import Imm, Instruction, Mem, Reg, decode
 from ..isa.encoding import EncodingError
+from ..isa.spec import SPEC
 from .cfg import BlockInfo, FunctionCFG, RecoveredCFG
 
 
@@ -208,9 +209,9 @@ class Disassembler:
                     return None
                 return BlockInfo(start=start, end=addr, terminator="ud2")
             end = addr + size
-            if instr.mnemonic in ("ret", "hlt", "ud2"):
-                return BlockInfo(start=start, end=end,
-                                 terminator=instr.mnemonic)
+            kind = SPEC[instr.mnemonic].terminator_kind
+            if kind is not None:
+                return BlockInfo(start=start, end=end, terminator=kind)
             if instr.is_branch:
                 return self._terminate_block(start, addr, end, instr, cfg,
                                              callees)

@@ -190,8 +190,7 @@ class Lifter:
 
     @staticmethod
     def _split_terminator(instrs: List[Instruction], info: BlockInfo):
-        if instrs and (instrs[-1].is_branch or
-                       instrs[-1].mnemonic in ("ret", "hlt", "ud2")):
+        if instrs and instrs[-1].is_terminator:
             return instrs[:-1], instrs[-1]
         return instrs, None
 

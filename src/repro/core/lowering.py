@@ -29,6 +29,7 @@ from ..ir import (Alloca, Argument, AtomicRMW, BinOp, Block, Br, Call, Cast,
                   users_map)
 from ..ir import predecessors as ir_predecessors
 from ..isa import ARG_REGS, Assembler, Imm, Label, Mem, Reg, ins
+from ..isa.spec import SPEC
 
 ALLOCATABLE = ("rax", "rcx", "rdx", "rsi", "rdi", "r8", "r9",
                "rbx", "r12", "r13", "r14")
@@ -37,9 +38,10 @@ CALLER_SAVED = ("rax", "rcx", "rdx", "rsi", "rdi", "r8", "r9")
 SCRATCH = ("r10", "r11")
 TLS_REG = Reg("r15")
 
-_JCC_FOR_PRED = {"eq": "je", "ne": "jne", "slt": "jl", "sle": "jle",
-                 "sgt": "jg", "sge": "jge", "ult": "jb", "ule": "jbe",
-                 "ugt": "ja", "uge": "jae"}
+#: icmp predicate -> jcc mnemonic, inverted from the spec's per-jcc
+#: ``cmp_pred`` declarations (js/jns carry no fused-compare predicate).
+_JCC_FOR_PRED = {spec.cmp_pred: name for name, spec in SPEC.items()
+                 if spec.cmp_pred is not None}
 
 
 class LoweringError(Exception):

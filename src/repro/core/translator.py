@@ -28,6 +28,7 @@ from ..ir import (Block, Cast, ConstantInt, Function, GlobalVar, I1, I8,
                   I32, I64, IRBuilder, Load, Module, Store, Value, const,
                   int_type, type_for_width)
 from ..isa import Imm, Instruction, Mem, Reg
+from ..isa.spec import SPEC
 from .vstate import VirtualState
 
 
@@ -479,8 +480,10 @@ class BlockTranslator:
                       forced_op: Optional[str] = None,
                       preserve_cf: bool = False) -> None:
         """LOCK add/sub/and/or/xor/inc/dec with a memory destination."""
-        op = forced_op or {"add": "add", "sub": "sub", "and": "and",
-                           "or": "or", "xor": "xor"}[instr.mnemonic]
+        op = forced_op or SPEC[instr.mnemonic].alu_op
+        if op is None:
+            raise TranslationError(
+                f"no atomic RMW lowering for {instr.mnemonic!r}")
         dst = instr.operands[0]
         saved_cf = self.read_flag("cf") if preserve_cf else None
         self.b.compiler_barrier()
@@ -579,8 +582,10 @@ class BlockTranslator:
             old = self.b.trunc(current, type_for_width(width)) \
                 if width < 8 else current
         wide_old = self.b.zext(old, I64) if width < 8 else old
+        # Full compare flags of (expected - observed), exactly as the
+        # emulator computes them; ZF doubles as the success bit.
+        self.flags_sub(expected, wide_old, width)
         success = self.b.icmp("eq", wide_old, expected, name="cx_eq")
-        self.write_flag("zf", success)
         self._last_flags = ("bit", success)
         # rax is updated with the observed value only on failure.
         rax_new = self.b.select(success, expected_full, wide_old)
@@ -777,10 +782,10 @@ class BlockTranslator:
             self._write_xmm_lane(dst, lane, narrow)
 
     # -- conditions for jcc terminators ------------------------------------------------------------
-
-    _CMP_PRED = {"je": "eq", "jne": "ne", "jl": "slt", "jle": "sle",
-                 "jg": "sgt", "jge": "sge", "jb": "ult", "jbe": "ule",
-                 "ja": "ugt", "jae": "uge"}
+    # All three paths (fused compare, value test, generic flag
+    # reconstruction) are driven by the ISA spec's per-jcc declarations
+    # (cmp_pred / val_pred / cond_expr) — the same records the emulator
+    # evaluates, so the two layers cannot drift.
 
     def _at_width(self, value: Value, width: int) -> Value:
         if width == 8:
@@ -789,60 +794,49 @@ class BlockTranslator:
             return ConstantInt(value.value, type_for_width(width))
         return self.b.trunc(value, type_for_width(width))
 
+    def _cond_ir(self, expr) -> Value:
+        """Lower a spec condition expression over the flag globals.
+
+        Leaves are flag reads (i1); inner nodes combine them at i8 so
+        regpromote sees plain integer traffic, mirroring the shapes the
+        old hand-written reconstruction produced.
+        """
+        b = self.b
+        if isinstance(expr, str):
+            return self.read_flag(expr)
+        op = expr[0]
+        if op == "not":
+            inner = self._cond_ir(expr[1])
+            return b.icmp("eq", b.zext(inner, I8), const(0, 8))
+        lhs = b.zext(self._cond_ir(expr[1]), I8)
+        rhs = b.zext(self._cond_ir(expr[2]), I8)
+        if op in ("eq", "ne"):
+            return b.icmp(op, lhs, rhs)
+        if op in ("and", "or"):
+            return b.icmp("ne", b.binop(op, lhs, rhs), const(0, 8))
+        raise TranslationError(f"bad condition expression {expr!r}")
+
     def condition(self, mnemonic: str) -> Value:
         """The i1 for a jCC mnemonic (fused-compare fast path aware)."""
         b = self.b
+        spec = SPEC.get(mnemonic)
+        if spec is None or spec.cond_expr is None:
+            raise TranslationError(f"bad condition {mnemonic}")
         last = self._last_flags if self.lazy_flags else None
         if last is not None:
-            if last[0] == "cmp" and mnemonic in self._CMP_PRED:
+            if last[0] == "cmp" and spec.cmp_pred is not None:
                 _tag, lhs, rhs, width = last
-                return b.icmp(self._CMP_PRED[mnemonic],
+                return b.icmp(spec.cmp_pred,
                               self._at_width(lhs, width),
                               self._at_width(rhs, width))
-            if last[0] == "val" and mnemonic in ("je", "jne", "js", "jns"):
+            if last[0] == "val" and spec.val_pred is not None:
                 _tag, result, width = last
                 narrow = self._at_width(result, width)
-                pred = {"je": "eq", "jne": "ne",
-                        "js": "slt", "jns": "sge"}[mnemonic]
-                return b.icmp(pred, narrow,
+                return b.icmp(spec.val_pred, narrow,
                               ConstantInt(0, type_for_width(width)))
             if last[0] == "bit":
                 if mnemonic == "je":
                     return last[1]
                 if mnemonic == "jne":
                     return b.icmp("eq", b.zext(last[1], I8), const(0, 8))
-        if mnemonic == "je":
-            return self.read_flag("zf")
-        if mnemonic == "jne":
-            return b.icmp("eq", b.zext(self.read_flag("zf"), I8),
-                          const(0, 8))
-        if mnemonic in ("jl", "jge"):
-            sf = b.zext(self.read_flag("sf"), I8)
-            of = b.zext(self.read_flag("of"), I8)
-            pred = "ne" if mnemonic == "jl" else "eq"
-            return b.icmp(pred, sf, of)
-        if mnemonic in ("jle", "jg"):
-            zf = self.read_flag("zf")
-            sf = b.zext(self.read_flag("sf"), I8)
-            of = b.zext(self.read_flag("of"), I8)
-            neq = b.icmp("ne", sf, of)
-            le = b.binop("or", b.zext(zf, I8), b.zext(neq, I8))
-            pred = "ne" if mnemonic == "jle" else "eq"
-            return b.icmp(pred, le, const(0, 8))
-        if mnemonic == "jb":
-            return self.read_flag("cf")
-        if mnemonic == "jae":
-            return b.icmp("eq", b.zext(self.read_flag("cf"), I8),
-                          const(0, 8))
-        if mnemonic in ("jbe", "ja"):
-            cf = b.zext(self.read_flag("cf"), I8)
-            zf = b.zext(self.read_flag("zf"), I8)
-            be = b.binop("or", cf, zf)
-            pred = "ne" if mnemonic == "jbe" else "eq"
-            return b.icmp(pred, be, const(0, 8))
-        if mnemonic == "js":
-            return self.read_flag("sf")
-        if mnemonic == "jns":
-            return b.icmp("eq", b.zext(self.read_flag("sf"), I8),
-                          const(0, 8))
-        raise TranslationError(f"bad condition {mnemonic}")
+        return self._cond_ir(spec.cond_expr)

@@ -1,4 +1,4 @@
-"""Cycle cost model for VX instructions.
+"""Cycle cost model for VX instructions, derived from the ISA spec.
 
 Costs are loosely calibrated against x86 latencies: memory traffic and
 serialising/atomic operations dominate, SIMD processes four lanes for
@@ -6,26 +6,18 @@ the price of one scalar op.  The normalised-runtime experiments only
 depend on *ratios* between original and recompiled binaries, so the
 absolute scale is irrelevant; what matters is that atomics, fences and
 memory operations carry realistic relative weight.
+
+The per-mnemonic numbers and classes live in ``isa/spec.py`` — this
+module is a derived view plus the costs that are not per-mnemonic
+(memory traffic, bus locks, import-stub dispatch).
 """
 
 from __future__ import annotations
 
-BASE_COSTS = {
-    "mov": 1, "movsx": 1, "lea": 1, "xchg": 2,
-    "push": 2, "pop": 2,
-    "add": 1, "sub": 1, "and": 1, "or": 1, "xor": 1,
-    "shl": 1, "shr": 1, "sar": 1,
-    "imul": 3, "idiv": 22, "irem": 22,
-    "neg": 1, "not": 1, "inc": 1, "dec": 1,
-    "cmp": 1, "test": 1,
-    "jmp": 1, "call": 2, "ret": 2,
-    "je": 1, "jne": 1, "jl": 1, "jle": 1, "jg": 1, "jge": 1,
-    "jb": 1, "jbe": 1, "ja": 1, "jae": 1, "js": 1, "jns": 1,
-    "cmpxchg": 4, "xadd": 2, "mfence": 12,
-    "movdq": 1, "paddd": 1, "psubd": 1, "pmulld": 2, "pxor": 1,
-    "pextrd": 2, "pinsrd": 2, "pbroadcastd": 1,
-    "nop": 1, "hlt": 1, "ud2": 1, "rdtls": 1,
-}
+from ..isa.spec import PERF_CLASS_NAMES, SPEC
+
+#: mnemonic -> base cycle cost, in opcode order.
+BASE_COSTS = {name: spec.cost for name, spec in SPEC.items()}
 
 #: Extra cost per memory operand touched.
 MEMORY_ACCESS_COST = 3
@@ -38,30 +30,32 @@ LOCK_COST = 16
 EXTERNAL_CALL_COST = 8
 
 #: Perf-counter instruction classes (``emu.cycles.<class>`` counters).
-#: Every BASE_COSTS mnemonic maps to exactly one class; external calls
-#: are accounted separately under the synthetic class "external".
-INSTR_CLASS_NAMES = ("mov", "alu", "branch", "atomic", "fence", "simd",
-                     "misc", "external")
+#: Every spec mnemonic maps to exactly one class; external calls are
+#: accounted separately under the synthetic class "external".
+INSTR_CLASS_NAMES = PERF_CLASS_NAMES
 
-_CLASS_PATTERNS = {
-    "mov": {"mov", "movsx", "lea", "push", "pop"},
-    "atomic": {"xchg", "cmpxchg", "xadd"},
-    "fence": {"mfence"},
-    "branch": {"jmp", "call", "ret", "je", "jne", "jl", "jle", "jg", "jge",
-               "jb", "jbe", "ja", "jae", "js", "jns"},
-    "simd": {"movdq", "paddd", "psubd", "pmulld", "pxor", "pextrd",
-             "pinsrd", "pbroadcastd"},
-    "misc": {"nop", "hlt", "ud2", "rdtls"},
-}
+#: mnemonic -> class, precomputed for the interpreter's hot loop.
+INSTR_CLASS = {name: spec.perf_class for name, spec in SPEC.items()}
 
 
 def classify(mnemonic: str) -> str:
-    """The perf-counter class of a mnemonic (default: "alu")."""
-    for name, members in _CLASS_PATTERNS.items():
-        if mnemonic in members:
-            return name
-    return "alu"
+    """The perf-counter class of a mnemonic.
+
+    Total over the spec: an unknown mnemonic raises KeyError instead
+    of silently defaulting to "alu" as it used to.
+    """
+    return INSTR_CLASS[mnemonic]
 
 
-#: mnemonic -> class, precomputed for the interpreter's hot loop.
-INSTR_CLASS = {mnemonic: classify(mnemonic) for mnemonic in BASE_COSTS}
+def _validate() -> None:
+    """Totality: costs and classes exist for every spec mnemonic, carry
+    no strays, and use only declared class names."""
+    assert set(BASE_COSTS) == set(SPEC), \
+        "BASE_COSTS out of sync with the ISA spec"
+    assert set(INSTR_CLASS) == set(SPEC), \
+        "INSTR_CLASS out of sync with the ISA spec"
+    unknown = set(INSTR_CLASS.values()) - set(INSTR_CLASS_NAMES)
+    assert not unknown, f"unknown perf classes {unknown}"
+
+
+_validate()

@@ -54,6 +54,7 @@ from __future__ import annotations
 from ..binfmt import IMPORT_STUB_BASE
 from ..isa.instructions import Imm, Instruction, Mem
 from ..isa.registers import Reg
+from ..isa.spec import SPEC
 from .cpu import U64
 from .machine import (CycleLimitExceeded, EmulationFault, EXIT_ADDR,
                       THREAD_EXIT_ADDR, ThreadContext)
@@ -203,31 +204,32 @@ def _run_chain(machine, thread, budget: int, max_cycles: int) -> int:
 # specialization (vector operands, indirect branches, shifts, atomics,
 # SIMD) falls back to the generic dispatch handler unchanged.
 
-#: jcc mnemonic -> flag predicate, mirroring Machine._cond exactly.
-_CONDITIONS = {
-    "je": lambda c: c.zf,
-    "jne": lambda c: not c.zf,
-    "jl": lambda c: c.sf != c.of,
-    "jle": lambda c: c.zf or c.sf != c.of,
-    "jg": lambda c: (not c.zf) and c.sf == c.of,
-    "jge": lambda c: c.sf == c.of,
-    "jb": lambda c: c.cf,
-    "jbe": lambda c: c.cf or c.zf,
-    "ja": lambda c: (not c.cf) and (not c.zf),
-    "jae": lambda c: not c.cf,
-    "js": lambda c: c.sf,
-    "jns": lambda c: not c.sf,
-}
+#: jcc mnemonic -> flag predicate.  The compiled spec predicates are
+#: the very callables Machine._cond evaluates, so both engines agree
+#: by construction.
+_CONDITIONS = {name: spec.cond for name, spec in SPEC.items()
+               if spec.branch_kind == "jcc"}
 
-#: commutative/flag-producing ALU ops specialized through the machine's
-#: flag helpers (semantics stay in one place).
-_ALU_FLAGS = {
-    "add": lambda m, cpu, a, b, w: m._flags_add(cpu, a, b, w),
-    "sub": lambda m, cpu, a, b, w: m._flags_sub(cpu, a, b, w),
-    "and": lambda m, cpu, a, b, w: m._flags_logic(cpu, a & b, w),
-    "or": lambda m, cpu, a, b, w: m._flags_logic(cpu, a | b, w),
-    "xor": lambda m, cpu, a, b, w: m._flags_logic(cpu, a ^ b, w),
-}
+
+def _alu_flags_fn(alu_op: str):
+    """The flag-producing evaluator for a spec ``alu_op``, specialized
+    through the machine's flag helpers (semantics stay in one place)."""
+    if alu_op == "add":
+        return lambda m, cpu, a, b, w: m._flags_add(cpu, a, b, w)
+    if alu_op == "sub":
+        return lambda m, cpu, a, b, w: m._flags_sub(cpu, a, b, w)
+    if alu_op == "and":
+        return lambda m, cpu, a, b, w: m._flags_logic(cpu, a & b, w)
+    if alu_op == "or":
+        return lambda m, cpu, a, b, w: m._flags_logic(cpu, a | b, w)
+    if alu_op == "xor":
+        return lambda m, cpu, a, b, w: m._flags_logic(cpu, a ^ b, w)
+    raise ValueError(f"no ALU evaluator for {alu_op!r}")
+
+
+#: mnemonic -> flag-producing ALU evaluator, for the spec's ALU group.
+_ALU_FLAGS = {name: _alu_flags_fn(spec.alu_op)
+              for name, spec in SPEC.items() if spec.alu_op}
 
 
 def _addr_fn(mem: Mem):

@@ -22,6 +22,7 @@ from ..binfmt import IMPORT_STUB_BASE, Image
 from ..isa import decode
 from ..isa.instructions import Imm, Instruction, Mem
 from ..isa.registers import Reg
+from ..isa.spec import SPEC
 from ..observability import Counters
 from .costs import (BASE_COSTS, EXTERNAL_CALL_COST, INSTR_CLASS,
                     INSTR_CLASS_NAMES, LOCK_COST, MEMORY_ACCESS_COST)
@@ -424,8 +425,7 @@ class Machine:
         if self.step_hook is not None:
             self.step_hook(self, thread, instr)
         cost = BASE_COSTS[instr.mnemonic]
-        if instr.lock or (instr.mnemonic == "xchg"
-                          and any(isinstance(op, Mem) for op in instr.operands)):
+        if instr.is_atomic:
             cost += LOCK_COST
             self.atomic_rmws += 1
         cost += MEMORY_ACCESS_COST * sum(
@@ -700,16 +700,14 @@ class Machine:
         self._binop(thread, instr, fn)
 
     def _op_imul(self, thread, instr) -> None:
+        # Logic-style flags (CF=OF cleared), matching the lifted IR
+        # (`flags_logic` in the translator); the conformance harness
+        # holds the two implementations to the same behaviour.
         def fn(cpu, a, b, w):
             bits = w * 8
             sa = a - (1 << bits) if a >= 1 << (bits - 1) else a
             sb = b - (1 << bits) if b >= 1 << (bits - 1) else b
-            full = sa * sb
-            result = full & ((1 << bits) - 1)
-            sr = result - (1 << bits) if result >= 1 << (bits - 1) else result
-            cpu.cf = cpu.of = (sr != full)
-            self._set_zs(cpu, result, w)
-            return result
+            return self._flags_logic(cpu, (sa * sb) & ((1 << bits) - 1), w)
         self._binop(thread, instr, fn)
 
     def _signed_div(self, thread, instr, want_rem: bool) -> None:
@@ -798,31 +796,12 @@ class Machine:
         thread.cpu.pc = target
 
     def _cond(self, cpu: CpuState, mnemonic: str) -> bool:
-        if mnemonic == "je":
-            return cpu.zf
-        if mnemonic == "jne":
-            return not cpu.zf
-        if mnemonic == "jl":
-            return cpu.sf != cpu.of
-        if mnemonic == "jle":
-            return cpu.zf or cpu.sf != cpu.of
-        if mnemonic == "jg":
-            return (not cpu.zf) and cpu.sf == cpu.of
-        if mnemonic == "jge":
-            return cpu.sf == cpu.of
-        if mnemonic == "jb":
-            return cpu.cf
-        if mnemonic == "jbe":
-            return cpu.cf or cpu.zf
-        if mnemonic == "ja":
-            return (not cpu.cf) and (not cpu.zf)
-        if mnemonic == "jae":
-            return not cpu.cf
-        if mnemonic == "js":
-            return cpu.sf
-        if mnemonic == "jns":
-            return not cpu.sf
-        raise EmulationFault(f"bad condition {mnemonic}")
+        """Evaluate a jCC condition via its spec predicate (the same
+        compiled expression the lifter derives its IR from)."""
+        fn = _JCC_COND.get(mnemonic)
+        if fn is None:
+            raise EmulationFault(f"bad condition {mnemonic}")
+        return fn(cpu)
 
     def _op_jcc(self, thread, instr) -> None:
         if self._cond(thread.cpu, instr.mnemonic):
@@ -960,35 +939,21 @@ class Machine:
 _NO_ACCESS = object()
 _FENCE = object()
 
-#: dst-operand treatment per mnemonic: read-modify-write destinations.
-_RMW_DST = frozenset((
-    "add", "sub", "and", "or", "xor", "shl", "shr", "sar",
-    "imul", "idiv", "irem", "neg", "not", "inc", "dec",
-    "xchg", "cmpxchg", "xadd",
-))
-
-#: mnemonics whose every memory operand is only read.
-_READ_ONLY = frozenset(("cmp", "test", "push",
-                        "jmp", "call") + tuple(
-                            m for m in BASE_COSTS
-                            if m.startswith("j") and m != "jmp"))
-
-#: SIMD sources read 16 bytes (moves/lane ops) or 4 (scalar-lane inserts).
-_SIMD_SRC_WIDTH = {"movdq": 16, "paddd": 16, "psubd": 16, "pmulld": 16,
-                   "pxor": 16, "pinsrd": 4, "pbroadcastd": 4}
-
 
 def _access_plan(instr: Instruction, skip_tls: bool):
     """Build the sanitizer access plan for one instruction.
+
+    Per-operand roles ("r"/"w"/"rw") and fixed access widths come from
+    the ISA spec's ``mem_roles`` / ``mem_width`` declarations.
 
     ``skip_tls`` elides accesses based off ``r15`` (the recompiled
     runtime's TLS/emustack base register): those target per-thread
     memory by construction.
     """
-    mnemonic = instr.mnemonic
-    if mnemonic == "mfence":
+    spec = SPEC[instr.mnemonic]
+    if spec.fence:
         return _FENCE
-    if mnemonic in ("lea", "nop", "ret", "hlt", "ud2", "rdtls"):
+    if spec.mem_roles is None:
         return _NO_ACCESS
     entries = []
     for position, op in enumerate(instr.operands):
@@ -996,36 +961,23 @@ def _access_plan(instr: Instruction, skip_tls: bool):
             continue
         if skip_tls and op.base is not None and op.base.name == "r15":
             continue
-        if mnemonic in _SIMD_SRC_WIDTH and position == 1:
-            width = _SIMD_SRC_WIDTH[mnemonic]
-        elif mnemonic == "movdq":
-            width = 16
-        elif mnemonic in ("push", "pop", "jmp", "call", "pextrd") or \
-                mnemonic.startswith("j"):
-            width = 8
-        else:
-            width = instr.width
-        if mnemonic == "xchg":
-            is_read, is_write = True, True      # swaps both operands
-        elif mnemonic in _READ_ONLY:
-            is_read, is_write = True, False
-        elif position == 0:
-            if mnemonic in _RMW_DST:
-                is_read, is_write = True, True
-            else:       # mov/movdq/movsx/pop/pextrd destination
-                is_read, is_write = False, True
-        else:
-            is_read, is_write = True, False
-        entries.append((op, is_read, is_write, width))
+        role = spec.mem_roles[position]
+        width = spec.mem_width if spec.mem_width is not None else instr.width
+        entries.append((op, "r" in role, "w" in role, width))
     if not entries:
         return _NO_ACCESS
     return instr.is_atomic, tuple(entries)
 
 
+#: jCC mnemonic -> compiled condition predicate, from the ISA spec.
+_JCC_COND = {name: spec.cond for name, spec in SPEC.items()
+             if spec.branch_kind == "jcc"}
+
+
 def _build_dispatch() -> Dict[str, Callable]:
     table: Dict[str, Callable] = {}
-    for mnemonic in BASE_COSTS:
-        if mnemonic.startswith("j") and mnemonic != "jmp":
+    for mnemonic, spec in SPEC.items():
+        if spec.branch_kind == "jcc":
             table[mnemonic] = Machine._op_jcc
         else:
             table[mnemonic] = getattr(Machine, f"_op_{mnemonic}")

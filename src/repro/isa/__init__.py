@@ -16,12 +16,16 @@ from .registers import (ARG_REGS, CALLEE_SAVED, CALLER_SAVED, FLAG_NAMES,
                         GPR_NAMES, GPRS, RET_REG, Reg, VEC_NAMES, XMM,
                         RAX, RCX, RDX, RBX, RSP, RBP, RSI, RDI,
                         R8, R9, R10, R11, R12, R13, R14, R15)
+from .spec import (InstrSpec, PERF_CLASS_NAMES, SPEC, SPEC_BY_OPCODE,
+                   compile_cond)
 
 __all__ = [
     "AssembledCode", "Assembler", "AssemblerError",
     "EncodingError", "decode", "encode", "encoded_size",
     "BRANCHES", "CONDITIONAL_JUMPS", "Imm", "Instruction", "Label",
     "LOCKABLE", "Mem", "MNEMONICS", "SIMD_MNEMONICS", "TERMINATORS", "ins",
+    "InstrSpec", "PERF_CLASS_NAMES", "SPEC", "SPEC_BY_OPCODE",
+    "compile_cond",
     "ARG_REGS", "CALLEE_SAVED", "CALLER_SAVED", "FLAG_NAMES", "GPR_NAMES",
     "GPRS", "RET_REG", "Reg", "VEC_NAMES", "XMM",
     "RAX", "RCX", "RDX", "RBX", "RSP", "RBP", "RSI", "RDI",

@@ -26,9 +26,10 @@ from __future__ import annotations
 import struct
 from typing import List, Tuple
 
-from .instructions import (BRANCHES, Imm, Instruction, Mem, MNEMONICS,
+from .instructions import (Imm, Instruction, Mem, MNEMONICS,
                            OPCODE_BY_MNEMONIC, Operand)
 from .registers import Reg
+from .spec import SPEC
 
 # Operand form codes (bits 4-7 of the flags byte).
 FORM_NONE = 0
@@ -49,11 +50,52 @@ _WIDTH_BY_CODE = {v: k for k, v in _WIDTH_CODES.items()}
 
 
 class EncodingError(Exception):
-    """Raised when an instruction cannot be encoded or decoded."""
+    """Raised when an instruction cannot be encoded or decoded.
+
+    Decode-time errors carry the faulting virtual ``address`` and the
+    byte ``offset`` into the decoded buffer where the problem was
+    detected, so callers can report exactly where a corrupt stream
+    went wrong.  Both are ``None`` for encode-time errors.
+    """
+
+    def __init__(self, message: str, address=None, offset=None) -> None:
+        if address is not None:
+            message = f"{message} at {address:#x}"
+            if offset is not None:
+                message = f"{message} (byte offset {offset})"
+        super().__init__(message)
+        self.address = address
+        self.offset = offset
+
+
+def _operand_shape(operands) -> "Tuple[str, ...]":
+    """The spec shape ("R"/"V"/"I"/"M" per operand) of an operand list,
+    or None if an operand is not yet concrete (e.g. a Label)."""
+    shape = []
+    for op in operands:
+        if isinstance(op, Reg):
+            shape.append("V" if op.is_vector else "R")
+        elif isinstance(op, Imm):
+            shape.append("I")
+        elif isinstance(op, Mem):
+            shape.append("M")
+        else:
+            return None
+    return tuple(shape)
+
+
+def _check_shape(instr: Instruction, address=None, offset=None) -> None:
+    """Validate operand kinds against the spec's legal shapes."""
+    shape = _operand_shape(instr.operands)
+    if shape is not None and shape not in SPEC[instr.mnemonic].shapes:
+        raise EncodingError(
+            f"illegal operand shape {''.join(shape) or '(none)'} for "
+            f"{instr.mnemonic!r}", address=address, offset=offset)
 
 
 def _operand_form(instr: Instruction) -> int:
     ops = instr.operands
+    _check_shape(instr)
     if instr.is_branch:
         if len(ops) != 1:
             raise EncodingError(f"branch needs one operand: {instr!r}")
@@ -166,14 +208,17 @@ def decode(data: bytes, offset: int = 0, address: int = 0) -> Tuple[Instruction,
         opcode = data[offset]
         flags = data[offset + 1]
     except IndexError:
-        raise EncodingError(f"truncated instruction at {address:#x}")
+        raise EncodingError("truncated instruction",
+                            address=address, offset=offset)
     if opcode >= len(MNEMONICS):
-        raise EncodingError(f"bad opcode {opcode:#x} at {address:#x}")
+        raise EncodingError(f"bad opcode {opcode:#x}",
+                            address=address, offset=offset)
     mnemonic = MNEMONICS[opcode]
     lock = bool(flags & 1)
     width_code = (flags >> 1) & 0x7
     if width_code not in _WIDTH_BY_CODE:
-        raise EncodingError(f"bad width code {width_code} at {address:#x}")
+        raise EncodingError(f"bad width code {width_code}",
+                            address=address, offset=offset + 1)
     width = _WIDTH_BY_CODE[width_code]
     form = flags >> 4
     pos = offset + 2
@@ -182,11 +227,13 @@ def decode(data: bytes, offset: int = 0, address: int = 0) -> Tuple[Instruction,
         """Consume one register operand from the byte stream."""
         nonlocal pos
         value = data[pos]
-        pos += 1
         try:
-            return Reg.from_encoding(value)
+            reg = Reg.from_encoding(value)
         except IndexError:
-            raise EncodingError(f"bad register byte {value:#x} at {address:#x}")
+            raise EncodingError(f"bad register byte {value:#x}",
+                                address=address, offset=pos)
+        pos += 1
+        return reg
 
     def take_imm() -> Imm:
         """Consume one 64-bit immediate operand from the byte stream."""
@@ -234,9 +281,11 @@ def decode(data: bytes, offset: int = 0, address: int = 0) -> Tuple[Instruction,
         elif form == FORM_RRI:
             operands.extend((take_reg(), take_reg(), take_imm()))
         else:
-            raise EncodingError(f"bad operand form {form} at {address:#x}")
+            raise EncodingError(f"bad operand form {form}",
+                                address=address, offset=offset + 1)
     except (IndexError, struct.error):
-        raise EncodingError(f"truncated instruction at {address:#x}")
+        raise EncodingError("truncated instruction",
+                            address=address, offset=pos)
 
     try:
         instr = Instruction(mnemonic, tuple(operands), lock=lock,
@@ -244,33 +293,9 @@ def decode(data: bytes, offset: int = 0, address: int = 0) -> Tuple[Instruction,
     except ValueError as exc:
         # Invalid mnemonic/lock/width combinations in the byte stream
         # are decoding errors, not programming errors.
-        raise EncodingError(f"bad instruction at {address:#x}: {exc}")
-    if not _arity_ok(mnemonic, len(operands)):
-        raise EncodingError(
-            f"bad operand count {len(operands)} for {mnemonic!r} "
-            f"at {address:#x}")
+        raise EncodingError(f"bad instruction: {exc}",
+                            address=address, offset=offset)
+    # Operand kinds must match one of the spec's legal shapes for the
+    # mnemonic (this subsumes the old per-mnemonic arity table).
+    _check_shape(instr, address=address, offset=offset)
     return instr, pos - offset
-
-
-#: Valid operand counts per mnemonic (decode-time validation).
-_ARITY = {
-    "mov": (2,), "movsx": (2,), "lea": (2,), "xchg": (2,),
-    "push": (1,), "pop": (1,),
-    "add": (2,), "sub": (2,), "and": (2,), "or": (2,), "xor": (2,),
-    "shl": (2,), "shr": (2,), "sar": (2,),
-    "imul": (2,), "idiv": (2,), "irem": (2,),
-    "neg": (1,), "not": (1,), "inc": (1,), "dec": (1,),
-    "cmp": (2,), "test": (2,),
-    "jmp": (1,), "call": (1,), "ret": (0,),
-    "cmpxchg": (2,), "xadd": (2,), "mfence": (0,),
-    "movdq": (2,), "paddd": (2,), "psubd": (2,), "pmulld": (2,),
-    "pxor": (2,), "pextrd": (3,), "pinsrd": (3,), "pbroadcastd": (2,),
-    "nop": (0,), "hlt": (0,), "ud2": (0,), "rdtls": (1,),
-}
-for _cc in ("je", "jne", "jl", "jle", "jg", "jge",
-            "jb", "jbe", "ja", "jae", "js", "jns"):
-    _ARITY[_cc] = (1,)
-
-
-def _arity_ok(mnemonic: str, count: int) -> bool:
-    return count in _ARITY.get(mnemonic, (count,))

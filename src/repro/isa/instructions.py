@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple, Union
 
 from .registers import Reg
+from .spec import SPEC
 
 VALID_WIDTHS = (1, 2, 4, 8, 16)
 
@@ -65,48 +66,31 @@ Operand = Union[Reg, Imm, Mem, Label]
 
 
 # --- mnemonic tables -------------------------------------------------------
+# All derived views over the declarative table in spec.py — the single
+# source of truth for per-mnemonic facts.
 
 #: Every VX mnemonic, in encoding order.  The position in this tuple is the
-#: opcode byte.
-MNEMONICS = (
-    # data movement
-    "mov", "movsx", "lea", "push", "pop", "xchg",
-    # integer arithmetic / logic
-    "add", "sub", "and", "or", "xor", "shl", "shr", "sar",
-    "imul", "idiv", "irem", "neg", "not", "inc", "dec",
-    "cmp", "test",
-    # control transfer
-    "jmp", "je", "jne", "jl", "jle", "jg", "jge",
-    "jb", "jbe", "ja", "jae", "js", "jns",
-    "call", "ret",
-    # atomics (combined with the lock prefix) and fences
-    "cmpxchg", "xadd", "mfence",
-    # 128-bit SIMD
-    "movdq", "paddd", "psubd", "pmulld", "pxor",
-    "pextrd", "pinsrd", "pbroadcastd",
-    # misc
-    "nop", "hlt", "ud2", "rdtls",
-)
+#: opcode byte (spec declaration order).
+MNEMONICS = tuple(SPEC)
 
-OPCODE_BY_MNEMONIC = {m: i for i, m in enumerate(MNEMONICS)}
+OPCODE_BY_MNEMONIC = {name: spec.opcode for name, spec in SPEC.items()}
 
-CONDITIONAL_JUMPS = (
-    "je", "jne", "jl", "jle", "jg", "jge",
-    "jb", "jbe", "ja", "jae", "js", "jns",
-)
+CONDITIONAL_JUMPS = tuple(
+    name for name, spec in SPEC.items() if spec.branch_kind == "jcc")
 
 #: Direct forms of these mnemonics encode a rel32 displacement.
-BRANCHES = CONDITIONAL_JUMPS + ("jmp", "call")
+BRANCHES = CONDITIONAL_JUMPS + tuple(
+    name for name, spec in SPEC.items()
+    if spec.branch_kind in ("jmp", "call"))
 
 #: Mnemonics that may carry a lock prefix (atomic read-modify-write).
-LOCKABLE = ("add", "sub", "and", "or", "xor", "inc", "dec",
-            "xchg", "cmpxchg", "xadd")
+LOCKABLE = tuple(name for name, spec in SPEC.items() if spec.lockable)
 
 #: Mnemonics that terminate a basic block.
-TERMINATORS = BRANCHES + ("ret", "hlt", "ud2")
+TERMINATORS = BRANCHES + tuple(
+    name for name, spec in SPEC.items() if spec.terminator_kind)
 
-SIMD_MNEMONICS = ("movdq", "paddd", "psubd", "pmulld", "pxor",
-                  "pextrd", "pinsrd", "pbroadcastd")
+SIMD_MNEMONICS = tuple(name for name, spec in SPEC.items() if spec.simd)
 
 
 @dataclass(frozen=True)
@@ -121,34 +105,39 @@ class Instruction:
     address: Optional[int] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
-        if self.mnemonic not in OPCODE_BY_MNEMONIC:
+        if self.mnemonic not in SPEC:
             raise ValueError(f"unknown mnemonic {self.mnemonic!r}")
         if self.width not in VALID_WIDTHS:
             raise ValueError(f"invalid width {self.width}")
-        if self.lock and self.mnemonic not in LOCKABLE:
+        if self.lock and not SPEC[self.mnemonic].lockable:
             raise ValueError(f"{self.mnemonic} cannot take a lock prefix")
+
+    @property
+    def spec(self):
+        """The declarative :class:`~repro.isa.spec.InstrSpec` record."""
+        return SPEC[self.mnemonic]
 
     # -- classification helpers used across the code base -----------------
 
     @property
     def is_terminator(self) -> bool:
         """True for instructions that end a basic block (jumps, ret, hlt, ud2)."""
-        return self.mnemonic in TERMINATORS
+        return SPEC[self.mnemonic].is_terminator
 
     @property
     def is_branch(self) -> bool:
         """True for any jump, conditional or not."""
-        return self.mnemonic in BRANCHES
+        return SPEC[self.mnemonic].is_branch
 
     @property
     def is_conditional(self) -> bool:
         """True for the jCC family."""
-        return self.mnemonic in CONDITIONAL_JUMPS
+        return SPEC[self.mnemonic].is_conditional
 
     @property
     def is_call(self) -> bool:
         """True for ``call`` (direct or through a register/memory)."""
-        return self.mnemonic == "call"
+        return SPEC[self.mnemonic].branch_kind == "call"
 
     @property
     def is_direct_branch(self) -> bool:
@@ -168,42 +157,32 @@ class Instruction:
         locked, as on x86)."""
         if self.lock:
             return True
-        return self.mnemonic == "xchg" and any(
+        return SPEC[self.mnemonic].implicit_lock_mem and any(
             isinstance(op, Mem) for op in self.operands)
 
     @property
     def is_simd(self) -> bool:
         """True for the 128-bit vector-lane mnemonics."""
-        return self.mnemonic in SIMD_MNEMONICS
+        return SPEC[self.mnemonic].simd
+
+    def _accesses_memory(self, how: str) -> bool:
+        spec = SPEC[self.mnemonic]
+        if spec.implicit_stack == how:
+            return True
+        if spec.mem_roles is None:
+            return False
+        return any(isinstance(op, Mem) and how in spec.mem_roles[i]
+                   for i, op in enumerate(self.operands))
 
     @property
     def reads_memory(self) -> bool:
         """True if executing this instruction loads from memory."""
-        if self.mnemonic in ("pop", "ret"):
-            return True
-        if self.mnemonic == "lea":
-            return False
-        if self.mnemonic in ("cmpxchg", "xadd", "xchg"):
-            return any(isinstance(op, Mem) for op in self.operands)
-        if self.mnemonic == "mov" or self.mnemonic == "movsx":
-            return len(self.operands) == 2 and isinstance(self.operands[1], Mem)
-        if self.mnemonic == "movdq":
-            return len(self.operands) == 2 and isinstance(self.operands[1], Mem)
-        # read-modify-write forms read their memory destination too
-        return any(isinstance(op, Mem) for op in self.operands)
+        return self._accesses_memory("r")
 
     @property
     def writes_memory(self) -> bool:
         """True if executing this instruction stores to memory."""
-        if self.mnemonic in ("push", "call"):
-            return True
-        if self.mnemonic in ("cmp", "test", "lea", "pop", "ret"):
-            return False
-        if self.mnemonic in ("mov", "movdq"):
-            return isinstance(self.operands[0], Mem)
-        if self.mnemonic in ("jmp",) + CONDITIONAL_JUMPS:
-            return False
-        return any(isinstance(op, Mem) for op in self.operands[:1])
+        return self._accesses_memory("w")
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         prefix = "lock " if self.lock else ""

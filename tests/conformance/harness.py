@@ -1,0 +1,314 @@
+"""Cross-layer conformance harness for the VX ISA spec.
+
+Two pillars, both driven by ``repro.isa.spec.SPEC``:
+
+* **Round-trip** (test_roundtrip): for every mnemonic × legal operand
+  shape × declared width (plus lock variants), build a concrete
+  instruction, assemble it, and assert encode→decode reproduces it
+  exactly.
+
+* **Differential** (test_differential): execute concrete instances in
+  the emulator, then recompile the same program (lift → optimise →
+  lower) and execute the recompiled binary, asserting identical
+  register / flag / memory effects.  Any semantic drift between the
+  emulator and the lifter fails here instead of in a Phoenix run.
+
+The differential driver batches many *cases* (one instruction instance
+plus its operand environment) into a single guest program: each case
+re-establishes a known register/memory state, runs its body, and dumps
+the observable state — eight GPRs, the four condition flags (recovered
+through je/js/jb/jl markers, which form a bijection with ZF/SF/CF/OF),
+and optionally both vector registers — into a private slice of a
+write-only ``.dump`` section.  The two executions are then compared
+byte-for-byte over the dump and data sections.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.binfmt import Image
+from repro.core import Recompiler
+from repro.emulator import EmulationFault, ExternalLibrary, Machine
+from repro.isa import Assembler, Imm, Label, Mem, Reg, SPEC, ins
+
+TEXT_BASE = 0x400000
+DATA_BASE = 0x500000
+DUMP_BASE = 0x600000
+
+#: Layout of the .data scratch area (addressed via rsi = DATA_BASE).
+CONST_CELL = 0       # 8-byte constant operand cell (read-only roles)
+SCRATCH_CELL = 8     # 8-byte scratch cell (written roles), re-initialised
+VEC_STAGE_A = 32     # 16-byte vector staging (xmm0 initial value)
+VEC_STAGE_B = 48     # 16-byte vector staging (xmm1 initial value)
+VEC_SCRATCH = 64     # 16-byte vector scratch cell, re-initialised
+DATA_SIZE = 128
+
+#: Per-case dump slice layout (128 bytes per case).
+CASE_STRIDE = 128
+DUMPED_GPRS = ("rax", "rbx", "rcx", "rdx", "rsi", "rdi", "r8", "r9")
+FLAG_MARKERS = ("je", "js", "jb", "jl")   # bijective with zf/sf/cf/of
+DUMP_SLOTS = 32      # max cases per program
+
+#: Default register environment, re-established before every case.
+#: rsi always holds DATA_BASE (the scratch-area base) and is never an
+#: instruction operand.  rsp is deliberately not dumped: the original
+#: and recompiled binaries run on different (virtual) stacks.
+DEFAULT_REGS = {
+    "rax": 0x0B0B0B0B0B0B0B0B,
+    "rbx": 0x3333333333333333,
+    "rcx": 0x80F1027384C5D6E7,   # sign bit set at every width
+    "rdx": 0x0000000000000209,   # nonzero low bytes at every width
+    "rsi": DATA_BASE,
+    "rdi": 0x0000000000000001,
+    "r8": 0x8888888888888888,
+    "r9": 0x0000000000000099,
+}
+
+SCRATCH_INIT = 0x0F0E0D0C0B0A0908
+CONST_INIT = 0x0706050403020107     # nonzero at widths 1/2/4/8
+VEC_A_LANES = (1, 2, 3, 4)
+VEC_B_LANES = (5, 6, 7, 8)
+VEC_SCRATCH_INIT = (0x11, 0x22, 0x33, 0x44)
+
+
+def _wrap_imm(value: int) -> Imm:
+    value &= (1 << 64) - 1
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return Imm(value)
+
+
+class Case:
+    """One instruction instance under differential test."""
+
+    def __init__(self, name: str,
+                 body: Union[List, Callable],
+                 regs: Optional[Dict[str, int]] = None,
+                 simd: bool = False) -> None:
+        self.name = name
+        #: Either a list of Instructions, or ``f(asm, case_index)`` for
+        #: bodies that need labels (jumps, markers).
+        self.body = body
+        self.regs = dict(DEFAULT_REGS)
+        if regs:
+            self.regs.update(regs)
+        self.simd = simd
+
+
+def _initial_data() -> bytes:
+    data = bytearray(DATA_SIZE)
+    data[CONST_CELL:CONST_CELL + 8] = CONST_INIT.to_bytes(8, "little")
+    for lane, value in enumerate(VEC_A_LANES):
+        off = VEC_STAGE_A + 4 * lane
+        data[off:off + 4] = value.to_bytes(4, "little")
+    for lane, value in enumerate(VEC_B_LANES):
+        off = VEC_STAGE_B + 4 * lane
+        data[off:off + 4] = value.to_bytes(4, "little")
+    return bytes(data)
+
+
+def _emit_case(asm: Assembler, index: int, case: Case) -> None:
+    rsi = Reg("rsi")
+    # Known register state (includes rsi = DATA_BASE, so memory
+    # re-init below can address the scratch area).
+    for name, value in case.regs.items():
+        asm.emit(ins("mov", Reg(name), _wrap_imm(value)))
+    # Known memory state.
+    asm.emit(ins("mov", Mem(base=rsi, disp=SCRATCH_CELL),
+                 _wrap_imm(SCRATCH_INIT)))
+    if case.simd:
+        for half in range(2):
+            lo = VEC_SCRATCH_INIT[2 * half] | \
+                (VEC_SCRATCH_INIT[2 * half + 1] << 32)
+            asm.emit(ins("mov", Mem(base=rsi, disp=VEC_SCRATCH + 8 * half),
+                         _wrap_imm(lo)))
+        asm.emit(ins("movdq", Reg("xmm0"),
+                     Mem(base=rsi, disp=VEC_STAGE_A), width=16))
+        asm.emit(ins("movdq", Reg("xmm1"),
+                     Mem(base=rsi, disp=VEC_STAGE_B), width=16))
+    # Known flag state (zf=1, sf=cf=of=0 after cmp rax, rax).
+    asm.emit(ins("cmp", Reg("rax"), Reg("rax")))
+    # The instruction(s) under test.
+    if callable(case.body):
+        case.body(asm, index)
+    else:
+        for instr in case.body:
+            asm.emit(instr)
+    # Dump GPRs (mov never touches flags).
+    slot = DUMP_BASE + index * CASE_STRIDE
+    for position, name in enumerate(DUMPED_GPRS):
+        asm.emit(ins("mov", Mem(disp=slot + 8 * position), Reg(name)))
+    # Dump flags through conditional markers.  Each marker only runs
+    # movs and a jcc, so all four observe the body's final flags.
+    for position, jcc in enumerate(FLAG_MARKERS):
+        taken = f"c{index}_f{position}"
+        asm.emit(ins("mov", Reg("r10"), Imm(1)))
+        asm.emit(ins(jcc, Label(taken)))
+        asm.emit(ins("mov", Reg("r10"), Imm(0)))
+        asm.label(taken)
+        asm.emit(ins("mov", Mem(disp=slot + 64 + 8 * position),
+                     Reg("r10")))
+    if case.simd:
+        asm.emit(ins("movdq", Mem(disp=slot + 96), Reg("xmm0"), width=16))
+        asm.emit(ins("movdq", Mem(disp=slot + 112), Reg("xmm1"), width=16))
+
+
+def build_program(cases: List[Case]) -> Image:
+    """Assemble a list of cases into one runnable VXE image."""
+    assert len(cases) <= DUMP_SLOTS, "too many cases for the dump area"
+    image = Image()
+    asm = Assembler(base=TEXT_BASE)
+    asm.label("entry")
+    for index, case in enumerate(cases):
+        _emit_case(asm, index, case)
+    asm.emit(ins("mov", Reg("rax"), Imm(0)))
+    asm.emit(ins("ret"))
+    code = asm.assemble()
+    image.add_section(".text", code.base, code.data, executable=True)
+    image.add_section(".data", DATA_BASE, _initial_data(), writable=True)
+    image.add_section(".dump", DUMP_BASE, b"\x00" * (DUMP_SLOTS *
+                                                     CASE_STRIDE),
+                      writable=True)
+    image.entry = code.symbols["entry"]
+    return image
+
+
+def _run(image: Image, expect_fault: bool = False) -> Machine:
+    machine = Machine(image, ExternalLibrary(), seed=0)
+    if expect_fault:
+        try:
+            machine.run()
+        except EmulationFault:
+            return machine
+        raise AssertionError("expected an emulation fault")
+    machine.run()
+    return machine
+
+
+def _state(machine: Machine, n_cases: int):
+    dump = machine.memory.read(DUMP_BASE, n_cases * CASE_STRIDE)
+    data = machine.memory.read(DATA_BASE, DATA_SIZE)
+    return dump, data, machine.exit_code
+
+
+def _describe_mismatch(cases: List[Case], dump_a: bytes,
+                       dump_b: bytes) -> str:
+    lines = []
+    for index, case in enumerate(cases):
+        base = index * CASE_STRIDE
+        slice_a = dump_a[base:base + CASE_STRIDE]
+        slice_b = dump_b[base:base + CASE_STRIDE]
+        if slice_a == slice_b:
+            continue
+        lines.append(f"case {case.name!r}:")
+        labels = list(DUMPED_GPRS) + [f"flag:{m}" for m in FLAG_MARKERS] \
+            + ["xmm0.lo", "xmm0.hi", "xmm1.lo", "xmm1.hi"]
+        for position, label in enumerate(labels):
+            lo, hi = 8 * position, 8 * position + 8
+            va = int.from_bytes(slice_a[lo:hi], "little")
+            vb = int.from_bytes(slice_b[lo:hi], "little")
+            if va != vb:
+                lines.append(f"  {label}: emulator={va:#x} "
+                             f"recompiled={vb:#x}")
+    return "\n".join(lines) or "(mismatch outside the dump area)"
+
+
+def assert_differential(cases: List[Case]) -> None:
+    """Run ``cases`` natively and recompiled; assert identical effects."""
+    image = build_program(cases)
+    original = _run(image)
+    assert original.exited and original.exit_code == 0, \
+        f"original run did not exit cleanly: {original.fault}"
+    result = Recompiler(image).recompile()
+    recompiled = _run(result.image)
+    assert recompiled.exited and recompiled.exit_code == 0, \
+        f"recompiled run did not exit cleanly: {recompiled.fault}"
+    n_cases = len(cases)
+    dump_a, data_a, exit_a = _state(original, n_cases)
+    dump_b, data_b, exit_b = _state(recompiled, n_cases)
+    assert exit_a == exit_b
+    assert dump_a == dump_b, \
+        "dump mismatch:\n" + _describe_mismatch(cases, dump_a, dump_b)
+    assert data_a == data_b, "data-section mismatch"
+
+
+# --- generic case generation from the spec -----------------------------------
+
+#: Immediate operand value per mnemonic (default 11): shifts use a
+#: small count meaningful at width 1; lane-indexed SIMD uses a lane.
+IMM_FOR = {"shl": 5, "shr": 5, "sar": 5, "pextrd": 2, "pinsrd": 2}
+
+#: Mnemonics whose differential needs special orchestration (emitted by
+#: dedicated tests rather than the generic shape walker).
+SPECIAL = frozenset((
+    "jmp", "call", "ret",                      # control flow / stack
+    "je", "jne", "jl", "jle", "jg", "jge",
+    "jb", "jbe", "ja", "jae", "js", "jns",     # jcc marker programs
+    "push", "pop",                             # stack, behavioural
+    "hlt", "ud2",                              # terminating / faulting
+    "rdtls",                                   # not liftable, by spec
+))
+
+
+def operands_for(spec, shape):
+    """Concrete operands for one spec shape.
+
+    GPR operands cycle rcx (destination) then rdx; vector operands
+    cycle xmm0 then xmm1; memory picks the scratch or const cell by the
+    spec's declared role; immediates come from IMM_FOR.
+    """
+    gprs = ["rcx", "rdx"]
+    vecs = ["xmm0", "xmm1"]
+    operands = []
+    for position, kind in enumerate(shape):
+        if kind == "R":
+            operands.append(Reg(gprs.pop(0)))
+        elif kind == "V":
+            operands.append(Reg(vecs.pop(0)))
+        elif kind == "I":
+            operands.append(Imm(IMM_FOR.get(spec.name, 11)))
+        else:
+            role = spec.mem_roles[position] if spec.mem_roles else "r"
+            if spec.simd:
+                disp = VEC_SCRATCH if "w" in role else VEC_STAGE_B
+            else:
+                disp = SCRATCH_CELL if "w" in role else CONST_CELL
+            operands.append(Mem(base=Reg("rsi"), disp=disp))
+    return operands
+
+
+def generic_cases(name: str) -> List[Case]:
+    """The standard differential cases for one mnemonic: every legal
+    shape at the widest declared width, plus every narrower width on
+    the first shape, plus a LOCK variant on a memory-destination shape
+    for lockable mnemonics."""
+    spec = SPEC[name]
+    assert name not in SPECIAL
+    top_width = max(spec.widths)
+    cases = []
+    for shape in spec.shapes:
+        operands = operands_for(spec, shape)
+        label = f"{name}:{''.join(shape) or 'none'}:w{top_width}"
+        cases.append(Case(label, [ins(name, *operands, width=top_width)],
+                          simd=spec.simd))
+    first = spec.shapes[0]
+    for width in spec.widths:
+        if width == top_width:
+            continue
+        operands = operands_for(spec, first)
+        label = f"{name}:{''.join(first) or 'none'}:w{width}"
+        cases.append(Case(label, [ins(name, *operands, width=width)],
+                          simd=spec.simd))
+    if spec.lockable:
+        mem_shapes = [s for s in spec.shapes if "M" in s]
+        # Prefer a memory *destination* (the shape LOCK exists for).
+        mem_shapes.sort(key=lambda s: s[0] != "M")
+        for shape in mem_shapes:
+            operands = operands_for(spec, shape)
+            label = f"lock {name}:{''.join(shape)}"
+            cases.append(Case(label, [ins(name, *operands, lock=True,
+                                          width=top_width)],
+                              simd=spec.simd))
+            break
+    return cases

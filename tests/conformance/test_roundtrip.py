@@ -1,0 +1,111 @@
+"""Encode/decode round-trip conformance, generated from the ISA spec.
+
+For every mnemonic × legal operand shape × declared width (plus LOCK
+variants and several memory-operand and immediate encodings), build a
+concrete instruction and assert ``encode`` → ``decode`` reproduces it
+exactly, with ``encoded_size`` agreeing with both.
+"""
+
+import pytest
+
+from repro.isa import (Imm, Instruction, Mem, Reg, SPEC, decode, encode,
+                       encoded_size, ins)
+
+ADDRESS = 0x400000
+
+#: Memory-operand encodings to exercise: base only, base+index*scale,
+#: absolute, negative displacement.
+MEM_VARIANTS = (
+    Mem(base=Reg("rbx"), disp=0x40),
+    Mem(base=Reg("rbx"), index=Reg("rcx"), scale=4, disp=8),
+    Mem(disp=0x500040),
+    Mem(base=Reg("rbp"), disp=-24),
+)
+
+#: Immediate values to exercise (sign and wrap behaviour).  Branch
+#: targets use a nearby address so the rel32 form is exact.
+IMM_VARIANTS = (11, -11, 0x7FFFFFFFFFFFFFF1)
+BRANCH_TARGETS = (ADDRESS + 0x60, ADDRESS - 0x40)
+
+
+def _operands(spec, shape, mem, imm):
+    gprs = ["rcx", "rdx"]
+    vecs = ["xmm0", "xmm1"]
+    out = []
+    for kind in shape:
+        if kind == "R":
+            out.append(Reg(gprs.pop(0)))
+        elif kind == "V":
+            out.append(Reg(vecs.pop(0)))
+        elif kind == "I":
+            out.append(Imm(imm))
+        else:
+            out.append(mem)
+    return tuple(out)
+
+
+def _instances(name):
+    spec = SPEC[name]
+    for shape in spec.shapes:
+        mems = MEM_VARIANTS if "M" in shape else (None,)
+        if "I" in shape:
+            imms = BRANCH_TARGETS if spec.is_branch else IMM_VARIANTS
+        else:
+            imms = (11,)
+        for width in spec.widths:
+            for mem in mems:
+                for imm in imms:
+                    operands = _operands(spec, shape, mem, imm)
+                    yield Instruction(name, operands, width=width)
+                    if spec.lockable:
+                        yield Instruction(name, operands, lock=True,
+                                          width=width)
+
+
+def _roundtrip(instr):
+    blob = encode(instr, ADDRESS)
+    assert encoded_size(instr) == len(blob), instr
+    decoded, size = decode(blob, 0, ADDRESS)
+    assert size == len(blob), instr
+    assert decoded == instr, f"{instr!r} decoded as {decoded!r}"
+    assert decoded.width == instr.width and decoded.lock == instr.lock
+
+
+@pytest.mark.parametrize("name", sorted(SPEC))
+def test_roundtrip(name):
+    count = 0
+    for instr in _instances(name):
+        _roundtrip(instr)
+        count += 1
+    assert count >= len(SPEC[name].shapes)
+
+
+def _kind(op):
+    if isinstance(op, Reg):
+        return "V" if op.is_vector else "R"
+    return "I" if isinstance(op, Imm) else "M"
+
+
+def test_round_trip_covers_every_mnemonic_and_shape():
+    """100% coverage: every spec mnemonic and every declared shape is
+    exercised by the generator above."""
+    seen = {}
+    for name in SPEC:
+        seen[name] = {tuple(_kind(op) for op in instr.operands)
+                      for instr in _instances(name)}
+    assert set(seen) == set(SPEC)
+    for name, spec in SPEC.items():
+        assert seen[name] == set(spec.shapes), \
+            f"{name}: shapes {set(spec.shapes) - seen[name]} not exercised"
+
+
+def test_decode_offset_roundtrip():
+    """Decoding works mid-buffer and reports sizes consistently."""
+    first = ins("mov", Reg("rcx"), Imm(7))
+    second = ins("add", Reg("rcx"), Reg("rdx"))
+    blob = encode(first, ADDRESS) + encode(second, ADDRESS + 10)
+    decoded1, size1 = decode(blob, 0, ADDRESS)
+    decoded2, size2 = decode(blob, size1, ADDRESS + size1)
+    assert decoded1 == first
+    assert decoded2 == second
+    assert size1 + size2 == len(blob)

@@ -1,0 +1,151 @@
+"""Guards that the ISA spec stays the single source of truth.
+
+Two layers of protection:
+
+* an AST scan over ``src/repro`` that fails on any new per-mnemonic
+  literal table (a dict or set keyed by five or more mnemonic strings)
+  outside ``isa/spec.py`` — derived tables must be comprehensions over
+  ``SPEC``;
+* totality checks asserting that every derived consumer table (costs,
+  perf classes, dispatch, conditions, translator handlers) covers
+  exactly the spec's mnemonic set.
+"""
+
+import ast
+import os
+
+from repro.core import lowering
+from repro.core.translator import BlockTranslator
+from repro.emulator import costs, engine
+from repro.emulator import machine as machine_mod
+from repro.isa import MNEMONICS, SPEC
+from repro.isa.spec import PERF_CLASS_NAMES, SPEC_BY_OPCODE
+
+import pytest
+
+SRC_ROOT = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                        "src", "repro")
+ALLOWED = {os.path.join("isa", "spec.py")}
+THRESHOLD = 5
+
+
+def _literal_strings(nodes):
+    """The string values of ``nodes`` if every node is a plain string
+    constant, else None (non-literal collections are not tables)."""
+    values = []
+    for node in nodes:
+        if not (isinstance(node, ast.Constant) and
+                isinstance(node.value, str)):
+            return None
+        values.append(node.value)
+    return values
+
+
+def _table_keys(node):
+    """Key strings of a literal dict/set/(frozen)set-call, else None."""
+    if isinstance(node, ast.Dict):
+        return _literal_strings(node.keys)
+    if isinstance(node, ast.Set):
+        return _literal_strings(node.elts)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("set", "frozenset") \
+            and len(node.args) == 1 \
+            and isinstance(node.args[0], (ast.List, ast.Tuple, ast.Set)):
+        return _literal_strings(node.args[0].elts)
+    return None
+
+
+def test_no_stray_mnemonic_tables():
+    """No per-mnemonic literal table may exist outside isa/spec.py."""
+    mnemonics = set(MNEMONICS)
+    offenders = []
+    for root, _dirs, files in os.walk(SRC_ROOT):
+        for fname in sorted(files):
+            if not fname.endswith(".py"):
+                continue
+            path = os.path.join(root, fname)
+            rel = os.path.relpath(path, SRC_ROOT)
+            if rel in ALLOWED:
+                continue
+            with open(path, encoding="utf-8") as handle:
+                tree = ast.parse(handle.read(), filename=rel)
+            for node in ast.walk(tree):
+                keys = _table_keys(node)
+                if keys and len(keys) >= THRESHOLD and \
+                        all(key in mnemonics for key in keys):
+                    offenders.append(f"{rel}:{node.lineno}")
+    assert not offenders, (
+        "per-mnemonic literal tables outside isa/spec.py (derive them "
+        "from repro.isa.spec.SPEC instead): " + ", ".join(offenders))
+
+
+def test_guard_detects_a_stray_table():
+    """The scanner itself must flag a five-mnemonic literal dict."""
+    sample = "TABLE = {'mov': 1, 'add': 2, 'sub': 3, 'cmp': 4, 'jmp': 5}"
+    node = next(n for n in ast.walk(ast.parse(sample))
+                if isinstance(n, ast.Dict))
+    keys = _table_keys(node)
+    assert keys is not None and len(keys) >= THRESHOLD
+    assert all(key in set(MNEMONICS) for key in keys)
+
+
+# --- totality of derived consumers -------------------------------------------
+
+def test_spec_is_total_over_mnemonics():
+    assert tuple(SPEC) == MNEMONICS
+    for opcode, spec in enumerate(SPEC_BY_OPCODE):
+        assert spec.opcode == opcode
+        assert SPEC[spec.name] is spec
+
+
+def test_costs_are_total():
+    assert set(costs.BASE_COSTS) == set(SPEC)
+    assert set(costs.INSTR_CLASS) == set(SPEC)
+    for name, spec in SPEC.items():
+        assert costs.BASE_COSTS[name] == spec.cost
+        assert costs.INSTR_CLASS[name] == spec.perf_class
+        assert costs.classify(name) == spec.perf_class
+        assert spec.perf_class in PERF_CLASS_NAMES
+
+
+def test_classify_rejects_unknown_mnemonics():
+    """Satellite: classify() must raise instead of defaulting to 'alu'."""
+    with pytest.raises(KeyError):
+        costs.classify("bogus")
+    with pytest.raises(KeyError):
+        costs.classify("fadd")
+
+
+def test_machine_dispatch_is_total():
+    assert set(machine_mod._DISPATCH) == set(SPEC)
+    assert set(machine_mod._build_dispatch()) == set(SPEC)
+
+
+def test_condition_tables_are_shared():
+    """The emulator engines and the machine must evaluate conditions
+    through the very same compiled predicates from the spec."""
+    jcc = {name for name, spec in SPEC.items()
+           if spec.branch_kind == "jcc"}
+    assert set(engine._CONDITIONS) == jcc
+    assert set(machine_mod._JCC_COND) == jcc
+    for name in jcc:
+        assert engine._CONDITIONS[name] is SPEC[name].cond
+        assert machine_mod._JCC_COND[name] is SPEC[name].cond
+
+
+def test_translator_handlers_are_total():
+    """Every straight-line mnemonic has a tr_ handler (branches and
+    terminators are lowered structurally by the lifter instead)."""
+    for name, spec in SPEC.items():
+        if spec.branch_kind is not None or spec.terminator_kind is not None:
+            continue
+        assert hasattr(BlockTranslator, f"tr_{name}"), \
+            f"no translator handler for {name!r}"
+
+
+def test_lowering_pred_map_inverts_spec():
+    for pred, name in lowering._JCC_FOR_PRED.items():
+        assert SPEC[name].cmp_pred == pred
+    specced = {spec.cmp_pred for spec in SPEC.values()
+               if spec.cmp_pred is not None}
+    assert set(lowering._JCC_FOR_PRED) == specced

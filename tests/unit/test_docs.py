@@ -91,15 +91,45 @@ class TestCrossReferences:
         readme = _read("README.md")
         for doc in ("docs/REPRODUCING.md", "docs/CLI.md",
                     "docs/ARCHITECTURE.md", "docs/OBSERVABILITY.md",
-                    "docs/PERFORMANCE.md", "docs/SANITIZERS.md"):
+                    "docs/PERFORMANCE.md", "docs/SANITIZERS.md",
+                    "docs/ISA.md"):
             assert doc in readme, f"README.md does not link {doc}"
 
     def test_docs_cross_reference_each_other(self):
         # Every doc must point at least back to the reproduction guide
         # or the architecture overview, so no page is a dead end.
         for name in ("ARCHITECTURE.md", "OBSERVABILITY.md",
-                     "PERFORMANCE.md", "SANITIZERS.md", "CLI.md"):
+                     "PERFORMANCE.md", "SANITIZERS.md", "CLI.md",
+                     "ISA.md"):
             doc = _read("docs", name)
             others = re.findall(r"\[([A-Z]+\.md)\]\(", doc) + \
                 re.findall(r"docs/([A-Z]+\.md)", doc)
             assert others, f"docs/{name} references no sibling docs"
+
+
+class TestIsaReference:
+    """docs/ISA.md is generated from the single-source ISA spec and
+    must stay in sync with it."""
+
+    @pytest.fixture(scope="class")
+    def isa_md(self):
+        return _read("docs", "ISA.md")
+
+    def test_every_mnemonic_documented(self, isa_md):
+        from repro.isa import SPEC
+        for name in SPEC:
+            assert f"`{name}`" in isa_md, \
+                f"docs/ISA.md does not document mnemonic {name!r}"
+
+    def test_generated_block_matches_spec(self, isa_md):
+        from repro.isa.spec import render_reference
+        match = re.search(
+            r"<!-- BEGIN GENERATED[^>]*-->\n(.*?)<!-- END GENERATED -->",
+            isa_md, re.S)
+        assert match, "docs/ISA.md is missing the generated block markers"
+        assert match.group(1).strip() == render_reference().strip(), (
+            "docs/ISA.md is stale: regenerate the table with "
+            "`PYTHONPATH=src python -m repro.isa.spec`")
+
+    def test_architecture_links_isa_reference(self):
+        assert "ISA.md" in _read("docs", "ARCHITECTURE.md")

@@ -4,8 +4,10 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.isa import (Assembler, AssemblerError, EncodingError, Imm,
-                       Instruction, Label, Mem, MNEMONICS, Reg, decode,
-                       encode, encoded_size, ins)
+                       Instruction, Label, Mem, MNEMONICS, Reg, SPEC,
+                       decode, encode, encoded_size, ins)
+from repro.isa.encoding import FORM_R, FORM_RR
+from repro.isa.instructions import OPCODE_BY_MNEMONIC
 from repro.isa.registers import GPR_NAMES, VEC_NAMES
 
 
@@ -89,24 +91,26 @@ def _operand_strategy():
     return regs, imms, mems
 
 
-def _instruction_strategy():
+#: Every legal (mnemonic, shape, width) combination, straight from the
+#: ISA spec.  Immediate-target branches are excluded: they use the REL
+#: form, whose displacement does not cover arbitrary 64-bit targets
+#: (covered by test_rel_branch_target_roundtrip instead).
+_SPEC_COMBOS = [(name, shape, width)
+                for name, spec in SPEC.items()
+                for shape in spec.shapes
+                for width in spec.widths
+                if not (spec.is_branch and "I" in shape)]
+
+
+@st.composite
+def _instruction_strategy(draw):
     regs, imms, mems = _operand_strategy()
-    width = st.sampled_from([1, 2, 4, 8])
-    two_op = st.sampled_from(["mov", "add", "sub", "and", "or", "xor",
-                              "imul", "cmp", "test", "xchg"])
-    return st.one_of(
-        st.builds(lambda m, a, b, w: ins(m, a, b, width=w),
-                  two_op, regs, st.one_of(regs, imms, mems), width),
-        st.builds(lambda m, a, b, w: ins(m, a, b, width=w),
-                  two_op, mems, regs, width),
-        st.builds(lambda a: ins("push", a), st.one_of(regs, imms)),
-        st.builds(lambda a: ins("pop", a), regs),
-        st.builds(lambda a, w: ins("neg", a, width=w), regs, width),
-        st.builds(lambda a: ins("jmp", a), st.one_of(regs, mems)),
-        st.builds(lambda m, d, s, w: ins(m, d, s, lock=True, width=w),
-                  st.sampled_from(["add", "xadd", "cmpxchg"]),
-                  mems, regs, width),
-    )
+    vecs = st.sampled_from([Reg(n) for n in VEC_NAMES])
+    by_kind = {"R": regs, "V": vecs, "I": imms, "M": mems}
+    name, shape, width = draw(st.sampled_from(_SPEC_COMBOS))
+    operands = tuple(draw(by_kind[kind]) for kind in shape)
+    lock = SPEC[name].lockable and draw(st.booleans())
+    return ins(name, *operands, lock=lock, width=width)
 
 
 class TestEncodingRoundTrip:
@@ -214,3 +218,89 @@ class TestAssembler:
         code = asm.assemble()
         decoded, _ = decode(code.data, 0, 0x3000)
         assert decoded.operands[1].value == code.symbols["fn"]
+
+
+# -- decode error diagnostics ---------------------------------------------------------
+
+
+class TestDecodeErrorDiagnostics:
+    """Every decode failure mode reports the faulting virtual address
+    and the byte offset into the buffer where it was detected."""
+
+    ADDR = 0x400100
+
+    def _fail(self, blob, offset=0):
+        with pytest.raises(EncodingError) as excinfo:
+            decode(blob, offset, self.ADDR)
+        return excinfo.value
+
+    def test_truncated_header(self):
+        err = self._fail(b"")
+        assert err.address == self.ADDR and err.offset == 0
+        assert "truncated" in str(err)
+        err = self._fail(bytes([OPCODE_BY_MNEMONIC["mov"]]))
+        assert err.address == self.ADDR and err.offset == 0
+
+    def test_bad_opcode(self):
+        err = self._fail(b"\xff\x00\x00\x00\x00\x00\x00\x00")
+        assert err.address == self.ADDR and err.offset == 0
+        assert "bad opcode" in str(err)
+
+    def test_bad_width_code(self):
+        flags = (7 << 1) | (FORM_RR << 4)   # width code 7 is unassigned
+        err = self._fail(bytes([OPCODE_BY_MNEMONIC["mov"], flags, 0, 1]))
+        assert err.address == self.ADDR and err.offset == 1
+        assert "bad width code" in str(err)
+
+    def test_bad_operand_form(self):
+        flags = (3 << 1) | (13 << 4)        # form 13 is unassigned
+        err = self._fail(bytes([OPCODE_BY_MNEMONIC["mov"], flags]))
+        assert err.address == self.ADDR and err.offset == 1
+        assert "bad operand form" in str(err)
+
+    def test_bad_register_byte(self):
+        flags = (3 << 1) | (FORM_R << 4)
+        err = self._fail(bytes([OPCODE_BY_MNEMONIC["push"], flags, 0xEE]))
+        assert err.address == self.ADDR and err.offset == 2
+        assert "bad register byte" in str(err)
+
+    def test_truncated_operands(self):
+        blob = encode(ins("mov", Reg("rcx"), Imm(42)), self.ADDR)
+        err = self._fail(blob[:6])
+        assert err.address == self.ADDR
+        assert err.offset == 3              # the immediate starts here
+        assert "truncated" in str(err)
+
+    def test_bad_instruction_flags(self):
+        # A lock bit on an unlockable mnemonic arriving from the byte
+        # stream is a decode error, not a crash.
+        blob = bytearray(encode(ins("mov", Reg("rcx"), Reg("rdx")),
+                                self.ADDR))
+        blob[1] |= 1
+        err = self._fail(bytes(blob))
+        assert err.address == self.ADDR and err.offset == 0
+        assert "bad instruction" in str(err)
+
+    def test_illegal_operand_shape(self):
+        # lea only admits a register destination with a memory source;
+        # a structurally valid reg,reg payload must be rejected.
+        flags = (3 << 1) | (FORM_RR << 4)
+        err = self._fail(bytes([OPCODE_BY_MNEMONIC["lea"], flags, 0, 1]))
+        assert err.address == self.ADDR and err.offset == 0
+        assert "illegal operand shape" in str(err)
+
+    def test_offsets_are_buffer_absolute(self):
+        padding = b"\x90" * 5
+        err = self._fail(padding + b"\xff\x00", offset=len(padding))
+        assert err.offset == len(padding)
+
+    def test_encode_time_errors_have_no_location(self):
+        with pytest.raises(EncodingError) as excinfo:
+            encode(ins("lea", Reg("rcx"), Reg("rdx")), self.ADDR)
+        assert excinfo.value.address is None
+        assert excinfo.value.offset is None
+
+    def test_message_includes_location(self):
+        err = self._fail(b"\xff\x00")
+        assert f"{self.ADDR:#x}" in str(err)
+        assert "byte offset 0" in str(err)
