@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Profile-guided recompilation: emulated-cycle deltas, PGO vs plain.
+
+For each (workload, opt level) this bench:
+
+1. collects an execution profile of the *original* binary
+   (``repro.profile.ProfileCollector``, same inputs/seed as the
+   recompilation's dynamic analyses);
+2. recompiles twice through the canonical hybrid pipeline — once
+   unguided, once guided by the profile;
+3. runs original, plain and PGO images on the same inputs, asserts all
+   three outputs match (the paper validates before timing), and
+   reports ``pgo_total_cycles / plain_total_cycles``.
+
+The metric is **total emulated cycles** (the deterministic sum of
+per-instruction costs), not wall cycles: wall cycles divide each cost
+by the number of runnable threads, so spin-waiting threads absorb the
+time a faster sibling frees up and the metric turns into scheduling
+noise (see docs/PGO.md).
+
+Writes ``BENCH_pgo.json`` at the repo root.  Runs as a script::
+
+    PYTHONPATH=src python benchmarks/bench_pgo.py           # full
+    PYTHONPATH=src python benchmarks/bench_pgo.py --smoke   # CI
+
+Full mode gates on the Phoenix O2 geomean ratio (default floor 0.95 =
+a >=5% cycle reduction); O3 and gapbs rows are reported for shape, not
+gated — hot loops that O3 already unrolled or vectorised leave PGO
+less headroom there.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.core import run_image
+from repro.observability import Counters
+from repro.profile import ProfileCollector
+from repro.workloads import get as get_workload
+
+from common import bench_provenance, geomean, hybrid_recompile, write_result
+
+PHOENIX = ("histogram", "kmeans", "linear_regression", "matrix_multiply",
+           "pca", "string_match", "word_count")
+GAPBS = ("bfs", "cc", "pr")
+SMOKE = ("histogram", "string_match")
+SIZE = "small"
+SEED = 21
+
+BENCH_JSON = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          os.pardir, "BENCH_pgo.json")
+
+
+def collect_profile(workload, opt_level: int):
+    """Profile the original binary on the bench inputs (one run)."""
+    image = workload.compile(opt_level=opt_level)
+    return ProfileCollector(image).collect(
+        lambda _item: workload.library(SIZE), inputs=[None], seed=SEED)
+
+
+def bench_one(name: str, opt_level: int):
+    workload = get_workload(name)
+    profile = collect_profile(workload, opt_level)
+    counters = Counters()
+    plain, _ = hybrid_recompile(workload, opt_level, size=SIZE, seed=SEED)
+    guided, _ = hybrid_recompile(workload, opt_level, size=SIZE, seed=SEED,
+                                 profile=profile, counters=counters)
+
+    original = run_image(workload.compile(opt_level=opt_level),
+                         library=workload.library(SIZE), seed=SEED)
+    plain_run = run_image(plain.image, library=workload.library(SIZE),
+                          seed=SEED)
+    pgo_run = run_image(guided.image, library=workload.library(SIZE),
+                        seed=SEED)
+    assert original.ok, f"{name}/O{opt_level}: original faulted"
+    assert plain_run.matches(original), \
+        f"{name}/O{opt_level}: plain recompilation output mismatch"
+    assert pgo_run.matches(original), \
+        f"{name}/O{opt_level}: PGO recompilation output mismatch"
+
+    ratio = pgo_run.total_cycles / plain_run.total_cycles
+    return {
+        "workload": name,
+        "opt_level": opt_level,
+        "size": SIZE,
+        "profile_digest": profile.digest(),
+        "plain_total_cycles": plain_run.total_cycles,
+        "pgo_total_cycles": pgo_run.total_cycles,
+        "ratio": round(ratio, 4),
+        "plain_wall_cycles": plain_run.wall_cycles,
+        "pgo_wall_cycles": pgo_run.wall_cycles,
+        "pgo_counters": {name_: int(value) for name_, value
+                         in counters.with_prefix("pgo.").items()},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: two Phoenix workloads at O2, "
+                             "equivalence-gated only")
+    parser.add_argument("--max-geomean", type=float, default=0.95,
+                        help="fail unless the Phoenix O2 geomean cycle "
+                             "ratio is at or below this (full mode "
+                             "only; default 0.95)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        configs = [(name, 2) for name in SMOKE]
+    else:
+        configs = [(name, 2) for name in PHOENIX] \
+            + [(name, 3) for name in PHOENIX] \
+            + [(name, 2) for name in GAPBS]
+
+    rows = []
+    for name, opt in configs:
+        row = bench_one(name, opt)
+        rows.append(row)
+        print(f"{name}/O{opt}: {row['ratio']:.4f} "
+              f"({row['plain_total_cycles']} -> {row['pgo_total_cycles']} "
+              f"cycles)")
+
+    phoenix_o2 = [r["ratio"] for r in rows
+                  if r["workload"] in PHOENIX and r["opt_level"] == 2]
+    gate = geomean(phoenix_o2)
+
+    record = {
+        "benchmark": "pgo",
+        "unit": "pgo_total_cycles / plain_total_cycles "
+                "(total emulated cycles, deterministic)",
+        "seed": SEED,
+        "size": SIZE,
+        "smoke": bool(args.smoke),
+        "results": rows,
+        "geomean_phoenix_o2": round(gate, 4),
+        "provenance": bench_provenance(),
+    }
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {os.path.normpath(BENCH_JSON)}")
+
+    write_result(
+        "bench_pgo", "Profile-guided recompilation — cycle ratios",
+        ["Workload", "Opt", "Plain cycles", "PGO cycles", "Ratio"],
+        [[r["workload"], f"O{r['opt_level']}", r["plain_total_cycles"],
+          r["pgo_total_cycles"], f"{r['ratio']:.4f}"] for r in rows]
+        + [["Geomean (Phoenix O2)", "", "", "", f"{gate:.4f}"]],
+        notes="Ratio < 1 means the profile-guided build retires fewer "
+              "emulated cycles than the unguided one on identical "
+              "inputs; outputs are asserted bit-equivalent first.")
+
+    if not args.smoke and gate > args.max_geomean:
+        print(f"FAIL: Phoenix O2 geomean {gate:.4f} > "
+              f"{args.max_geomean}", file=sys.stderr)
+        return 1
+    print(f"Phoenix O2 geomean: {gate:.4f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

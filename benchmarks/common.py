@@ -91,12 +91,16 @@ def hybrid_recompile(workload: Workload, opt_level: int,
                      fence_opt: bool = False,
                      manual_overrides: Optional[set] = None,
                      with_callbacks: bool = True,
+                     profile=None,
                      tracer: Optional[Tracer] = None,
+                     counters=None,
                      cache: object = "auto"):
     """The paper's full Polynima configuration: static CFG + ICFT trace
     + callback analysis (+ optional fence optimisation).  Returns the
     final RecompileResult.  Pass a ``tracer`` to collect the pipeline's
-    stage spans (exportable as a Chrome trace).
+    stage spans (exportable as a Chrome trace), a ``profile`` (a
+    :class:`repro.profile.Profile` or path) for a feedback-directed
+    build, and ``counters`` to read back the ``pgo.*`` decisions.
 
     The canonical implementation lives in ``repro.core.batch``; this
     wrapper plugs in the benches' shared artifact cache (``cache=None``
@@ -106,8 +110,30 @@ def hybrid_recompile(workload: Workload, opt_level: int,
     return _hybrid_recompile(
         workload, opt_level, size=size, seed=seed, fence_opt=fence_opt,
         manual_overrides=manual_overrides, with_callbacks=with_callbacks,
-        tracer=tracer, cache=cache,
+        profile=profile, tracer=tracer, counters=counters, cache=cache,
         verify=bool(os.environ.get("POLYNIMA_CACHE_VERIFY")))
+
+
+def cache_stats() -> Dict[str, int]:
+    """The shared artifact cache's ``cache.*`` counters (hits, misses,
+    puts, ...) as a plain dict — every bench JSON embeds this so a
+    result records whether it was served warm or cold.  Empty when the
+    cache is disabled."""
+    cache = artifact_cache()
+    return cache.stats() if cache is not None else {}
+
+
+def bench_provenance(profile=None) -> Dict[str, object]:
+    """The provenance block benches attach to their JSON output: cache
+    hit/miss counters plus the digest of the guiding profile (``None``
+    for unguided runs)."""
+    digest = None
+    if profile is not None:
+        if isinstance(profile, str):
+            from repro.profile import Profile
+            profile = Profile.load(profile)
+        digest = profile.digest()
+    return {"cache": cache_stats(), "profile_digest": digest}
 
 
 def stage_breakdown(result) -> Dict[str, float]:

@@ -18,8 +18,13 @@ Subcommands::
     polynima workloads [--group phoenix]                # list benchmarks
     polynima batch    [manifest.json | --group phoenix] # parallel + cached
                       [--jobs N] [--cache-dir D] [--no-cache] [--verify]
+                      [--profile-in prof.json]
+    polynima profile collect <prog.vxe> -o prof.json    # PGO: record
+    polynima profile merge   a.json b.json -o out.json  # PGO: combine
+    polynima profile show    prof.json [--json]         # PGO: inspect
 
-Full reference with examples: ``docs/CLI.md``.
+Full reference with examples: ``docs/CLI.md``; the profile-guided
+workflow is walked through in ``docs/PGO.md``.
 """
 
 from __future__ import annotations
@@ -125,10 +130,17 @@ def cmd_recompile(args) -> int:
     """``polynima recompile``: produce the standalone replacement binary."""
     image = Image.load(args.binary)
     tracer = Tracer()
+    profile = None
+    if getattr(args, "profile_in", None):
+        from .profile import Profile
+        profile = Profile.load(args.profile_in)
+        print(f"guiding with profile {profile.digest()[:12]} "
+              f"({len(profile.block_counts)} blocks, "
+              f"{profile.runs} runs)")
     if args.fence_opt:
         with tracer.span("recompile.fence_opt"):
             report = optimize_fences(image, lambda: _library_from_args(args),
-                                     seed=args.seed)
+                                     seed=args.seed, profile=profile)
         result = report.result
         print(f"fence optimisation "
               f"{'applied' if report.applied else 'NOT applied'} "
@@ -136,14 +148,16 @@ def cmd_recompile(args) -> int:
               f"{report.spinloops.count('non-spinning')} non-spinning, "
               f"{report.spinloops.count('uncovered')} uncovered loops)")
     elif args.additive:
-        lifting = AdditiveLifting(Recompiler(image, tracer=tracer))
+        lifting = AdditiveLifting(
+            Recompiler(image, profile=profile, tracer=tracer))
         report = lifting.run(lambda: _library_from_args(args),
                              seed=args.seed)
         result = report.result
         print(f"additive lifting: {report.recompile_loops} recompilation "
               f"loops, {report.total_seconds:.2f}s")
     else:
-        result = Recompiler(image, tracer=tracer).recompile()
+        result = Recompiler(image, profile=profile,
+                            tracer=tracer).recompile()
     result.image.save(args.output)
     if args.trace_out:
         trace_source = result.tracer or tracer
@@ -238,6 +252,56 @@ def cmd_workloads(args) -> int:
     return 0
 
 
+def cmd_profile_collect(args) -> int:
+    """``polynima profile collect``: record an execution profile of a
+    binary by running it on the profiling emulator."""
+    from .profile import ProfileCollector
+    image = Image.load(args.binary)
+    collector = ProfileCollector(image)
+    profile = collector.collect(
+        lambda _item: _library_from_args(args),
+        inputs=[None] * args.runs, seed=args.seed, engine=args.engine)
+    profile.save(args.output)
+    info = profile.summary()
+    print(f"wrote {args.output}: digest {info['digest'][:12]}, "
+          f"{info['runs']} runs, {info['instructions']} instructions, "
+          f"{info['blocks_profiled']} blocks, {info['loops']} loops")
+    return 0
+
+
+def cmd_profile_merge(args) -> int:
+    """``polynima profile merge``: combine profiles of the same binary
+    (e.g. one per input) into a single profile."""
+    from .profile import Profile
+    merged = Profile.load(args.profiles[0])
+    for path in args.profiles[1:]:
+        merged.merge(Profile.load(path))
+    merged.save(args.output)
+    print(f"wrote {args.output}: digest {merged.digest()[:12]}, "
+          f"{merged.runs} runs over {len(args.profiles)} profiles")
+    return 0
+
+
+def cmd_profile_show(args) -> int:
+    """``polynima profile show``: print a profile's headline numbers."""
+    from .profile import Profile
+    profile = Profile.load(args.profile)
+    info = profile.summary()
+    if args.json:
+        json.dump(info, sys.stdout, indent=1, sort_keys=True)
+        print()
+        return 0
+    width = max(len(key) for key in info)
+    for key, value in info.items():
+        print(f"{key:{width}s}  {value}")
+    hottest = profile.hottest_blocks(args.top)
+    if hottest:
+        print(f"--- hottest {len(hottest)} blocks ---")
+        for addr, count in hottest:
+            print(f"{addr:#10x}  {count}")
+    return 0
+
+
 def cmd_batch(args) -> int:
     """``polynima batch``: recompile many binaries in parallel through
     the content-addressed artifact cache.
@@ -259,6 +323,9 @@ def cmd_batch(args) -> int:
         else:
             print("batch: need a manifest file or --group", file=sys.stderr)
             return 2
+        if args.profile_in:
+            for job in jobs:
+                job.profile = args.profile_in
         cache = None
         if not args.no_cache:
             cache = ArtifactCache(args.cache_dir or default_cache_dir())
@@ -337,6 +404,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", metavar="TRACE.json",
                    help="write a Chrome-trace JSON of the pipeline "
                         "stages (open in chrome://tracing or Perfetto)")
+    p.add_argument("--profile-in", metavar="PROF.json",
+                   help="guide the recompilation with this execution "
+                        "profile (see 'polynima profile collect')")
     common_run_args(p)
     p.set_defaults(func=cmd_recompile)
 
@@ -370,6 +440,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--group")
     p.set_defaults(func=cmd_workloads)
 
+    p = sub.add_parser("profile", help="collect, merge and inspect "
+                                       "execution profiles (PGO)")
+    psub = p.add_subparsers(dest="profile_command", required=True)
+
+    pc = psub.add_parser("collect", help="profile a binary's execution")
+    pc.add_argument("binary")
+    pc.add_argument("-o", "--output", required=True,
+                    help="write the profile JSON here")
+    pc.add_argument("--runs", type=int, default=1,
+                    help="executions to merge (run i uses seed+i; "
+                         "default 1)")
+    pc.add_argument("--engine", choices=("fast", "reference"),
+                    default="fast",
+                    help="emulator engine to profile under (profiles "
+                         "from both engines are digest-identical)")
+    common_run_args(pc)
+    pc.set_defaults(func=cmd_profile_collect)
+
+    pm = psub.add_parser("merge", help="combine profiles of one binary")
+    pm.add_argument("profiles", nargs="+",
+                    help="profile JSON files (same image)")
+    pm.add_argument("-o", "--output", required=True)
+    pm.set_defaults(func=cmd_profile_merge)
+
+    ps = psub.add_parser("show", help="print a profile summary")
+    ps.add_argument("profile")
+    ps.add_argument("--json", action="store_true",
+                    help="emit the summary as JSON on stdout")
+    ps.add_argument("--top", type=int, default=10, metavar="N",
+                    help="hottest blocks to list (default 10)")
+    ps.set_defaults(func=cmd_profile_show)
+
     p = sub.add_parser("batch", help="parallel batch recompilation "
                                      "through the artifact cache")
     p.add_argument("manifest", nargs="?",
@@ -399,6 +501,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify", action="store_true",
                    help="on every cache hit, recompile fresh and fail "
                         "unless the artifact is bit-identical")
+    p.add_argument("--profile-in", metavar="PROF.json",
+                   help="guide every job with this execution profile "
+                        "(its digest joins each job's cache key)")
     p.add_argument("--trace-out", metavar="TRACE.json",
                    help="write a merged Chrome trace (one lane per job)")
     p.add_argument("--json", metavar="OUT.json",

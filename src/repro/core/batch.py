@@ -70,6 +70,9 @@ class RecompileJob:
     seed: int = 21
     fence_opt: bool = False
     with_callbacks: bool = True
+    #: Optional path to a saved :class:`repro.profile.Profile` guiding
+    #: this job's recompilation (``polynima profile collect`` output).
+    profile: Optional[str] = None
     #: Optional path the recompiled image is written to.
     output: Optional[str] = None
 
@@ -92,7 +95,8 @@ class RecompileJob:
             "workload": self.workload, "binary": self.binary,
             "opt_level": self.opt_level, "size": self.size,
             "seed": self.seed, "fence_opt": self.fence_opt,
-            "with_callbacks": self.with_callbacks, "output": self.output,
+            "with_callbacks": self.with_callbacks,
+            "profile": self.profile, "output": self.output,
         }
 
     @classmethod
@@ -198,15 +202,19 @@ class CachedRecompilation:
 
 def hybrid_options(workload, opt_level: int, size: Optional[str],
                    seed: int, fence_opt: bool, with_callbacks: bool,
-                   manual_overrides: Optional[Set[int]]) -> Dict[str, Any]:
+                   manual_overrides: Optional[Set[int]], *,
+                   profile_digest: Optional[str] = None) -> Dict[str, Any]:
     """The option dict digested into the cache key for a hybrid job.
 
     The image bytes capture the *code*; the workload name and input
     size capture the *concrete inputs* the dynamic analyses (ICFT
     trace, callback discovery, spinloop coverage) ran on, which the
-    bytes alone cannot.
+    bytes alone cannot.  A guiding profile changes the generated code,
+    so its content digest joins the key — but only when one is in
+    play: unguided jobs must keep the exact digests they had before
+    PGO existed, so a cache populated pre-PGO stays warm.
     """
-    return {
+    options = {
         "kind": "hybrid",
         "workload": workload.name,
         "opt_level": opt_level,
@@ -216,13 +224,18 @@ def hybrid_options(workload, opt_level: int, size: Optional[str],
         "callbacks": with_callbacks,
         "overrides": sorted(manual_overrides) if manual_overrides else [],
     }
+    if profile_digest is not None:
+        options["profile"] = profile_digest
+    return options
 
 
 def hybrid_recompile(workload, opt_level: int, size: Optional[str] = None,
                      seed: int = 21, fence_opt: bool = False,
                      manual_overrides: Optional[Set[int]] = None,
                      with_callbacks: bool = True,
+                     profile=None,
                      tracer: Optional[Tracer] = None,
+                     counters=None,
                      cache: Optional[ArtifactCache] = None,
                      verify: bool = False):
     """The paper's full Polynima configuration: static CFG + ICFT trace
@@ -231,6 +244,10 @@ def hybrid_recompile(workload, opt_level: int, size: Optional[str] = None,
     Returns ``(result, report)`` where ``report`` is the
     :class:`~repro.core.fence_opt.FenceOptReport` when ``fence_opt``
     ran, else ``None``.
+
+    ``profile`` may be a :class:`repro.profile.Profile` or a path to a
+    saved one; it is threaded into the final recompilation and its
+    content digest into the cache key.
 
     With a ``cache``, the recompiled image is looked up by content
     digest first; a hit returns a :class:`CachedRecompilation` without
@@ -242,19 +259,24 @@ def hybrid_recompile(workload, opt_level: int, size: Optional[str] = None,
     from .fence_opt import optimize_fences
     from .icft_tracer import ICFTTracer
 
+    if isinstance(profile, (str, os.PathLike)):
+        from ..profile import Profile
+        profile = Profile.load(profile)
+    profile_digest = profile.digest() if profile is not None else None
+
     image = workload.compile(opt_level=opt_level)
     digest = None
     if cache is not None:
         digest = cache.digest(image.to_bytes(), **hybrid_options(
             workload, opt_level, size, seed, fence_opt, with_callbacks,
-            manual_overrides))
+            manual_overrides, profile_digest=profile_digest))
         hit = cache.get(digest)
         if hit is not None:
             if verify:
                 fresh, _ = hybrid_recompile(
                     workload, opt_level, size=size, seed=seed,
                     fence_opt=fence_opt, manual_overrides=manual_overrides,
-                    with_callbacks=with_callbacks)
+                    with_callbacks=with_callbacks, profile=profile)
                 if fresh.image.to_bytes() != hit.image_bytes:
                     raise BatchError(
                         f"{workload.name}/O{opt_level}: cached artifact "
@@ -278,16 +300,19 @@ def hybrid_recompile(workload, opt_level: int, size: Optional[str] = None,
     if fence_opt:
         report = optimize_fences(
             image, workload.library_factory(size), seed=seed, cfg=cfg,
-            observed_callbacks=observed, manual_overrides=manual_overrides)
+            observed_callbacks=observed, manual_overrides=manual_overrides,
+            profile=profile, counters=counters)
         result = report.result
     else:
         result = Recompiler(image, observed_callbacks=observed,
-                            tracer=tracer).recompile(cfg=cfg)
+                            profile=profile, tracer=tracer,
+                            counters=counters).recompile(cfg=cfg)
     if cache is not None and digest is not None:
         cache.put(digest, result.image.to_bytes(),
                   meta={"options": hybrid_options(
                             workload, opt_level, size, seed, fence_opt,
-                            with_callbacks, manual_overrides),
+                            with_callbacks, manual_overrides,
+                            profile_digest=profile_digest),
                         "stats": stats_meta(result.stats)})
     return result, report
 
@@ -345,17 +370,28 @@ def _execute_pipeline(job: RecompileJob, cache: Optional[ArtifactCache],
             workload = get_workload(job.workload)
         except KeyError:
             raise BatchError(f"unknown workload {job.workload!r}")
+        profile = None
+        if job.profile:
+            from ..profile import Profile
+            try:
+                profile = Profile.load(job.profile)
+            except Exception as exc:    # noqa: BLE001 - surfaced per-job
+                raise BatchError(
+                    f"cannot load profile {job.profile!r}: {exc}")
         result, _report = hybrid_recompile(
             workload, job.opt_level, size=job.size, seed=job.seed,
             fence_opt=job.fence_opt, with_callbacks=job.with_callbacks,
-            tracer=tracer, cache=cache, verify=verify)
+            profile=profile, tracer=tracer, cache=cache, verify=verify)
         cached = isinstance(result, CachedRecompilation)
         digest = getattr(result, "digest", "")
         if not digest and cache is not None:
             digest = cache.digest(
                 workload.compile(job.opt_level).to_bytes(),
-                **hybrid_options(workload, job.opt_level, job.size, job.seed,
-                                 job.fence_opt, job.with_callbacks, None))
+                **hybrid_options(
+                    workload, job.opt_level, job.size, job.seed,
+                    job.fence_opt, job.with_callbacks, None,
+                    profile_digest=(profile.digest()
+                                    if profile is not None else None)))
         verified = True if (cached and verify) else None
         return (result.image.to_bytes(), stats_meta(result.stats),
                 digest, cached, verified)

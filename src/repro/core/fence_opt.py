@@ -41,13 +41,19 @@ def optimize_fences(image: Image, library_factory: Callable[[], object],
                     cfg: Optional[RecoveredCFG] = None,
                     observed_callbacks: Optional[Set[int]] = None,
                     manual_overrides: Optional[Set[int]] = None,
-                    max_cycles: int = 200_000_000) -> FenceOptReport:
+                    max_cycles: int = 200_000_000,
+                    profile=None, counters=None) -> FenceOptReport:
     """Run the full §3.4 pipeline and return the (possibly) optimised
     recompilation plus the analysis report.
 
     ``manual_overrides``: original block addresses of loops the operator
     manually vetted as non-spinning despite lacking dynamic coverage
     (the paper does this for histogram's endianness-swap loop).
+
+    ``profile``: a :class:`repro.profile.Profile` guiding the *final*
+    recompilation only.  The instrumented build stays unguided so the
+    access log (and therefore the spinloop verdicts) is identical with
+    and without a profile.
     """
     # 1-2. Instrumented build + concrete executions.
     instrumented = Recompiler(
@@ -70,14 +76,14 @@ def optimize_fences(image: Image, library_factory: Callable[[], object],
     if report.fences_removable:
         final = Recompiler(
             image, insert_fences=False,
-            observed_callbacks=observed_callbacks).recompile(
-                cfg=instrumented.cfg)
+            observed_callbacks=observed_callbacks, profile=profile,
+            counters=counters).recompile(cfg=instrumented.cfg)
         applied = True
     else:
         final = Recompiler(
             image, insert_fences=True,
-            observed_callbacks=observed_callbacks).recompile(
-                cfg=instrumented.cfg)
+            observed_callbacks=observed_callbacks, profile=profile,
+            counters=counters).recompile(cfg=instrumented.cfg)
         applied = False
     return FenceOptReport(spinloops=report, applied=applied, result=final,
                           access_sites_observed=len(access_log),

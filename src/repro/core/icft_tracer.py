@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..binfmt import Image
 from ..emulator import EmulationFault, ExternalLibrary, Machine
@@ -22,21 +22,31 @@ from .cfg import RecoveredCFG
 
 @dataclass
 class TraceResult:
-    """ICFTs recorded over one or more concrete executions."""
+    """ICFTs recorded over one or more concrete executions.
 
-    #: site -> set of targets, for indirect jumps and calls separately.
-    jump_targets: Dict[int, Set[int]] = field(default_factory=dict)
-    call_targets: Dict[int, Set[int]] = field(default_factory=dict)
+    Each site maps to a counted histogram ``{target: times_observed}``
+    rather than a bare target set: CFG augmentation only needs the keys
+    (set semantics preserved), while the profile collector reuses the
+    counts as its indirect-target substrate.
+    """
+
+    #: site -> {target: count}, for indirect jumps and calls separately.
+    jump_targets: Dict[int, Dict[int, int]] = field(default_factory=dict)
+    call_targets: Dict[int, Dict[int, int]] = field(default_factory=dict)
     runs: int = 0
     instructions: int = 0
     wall_seconds: float = 0.0
 
     def merge(self, other: "TraceResult") -> None:
-        """Union another trace's indirect targets into this one."""
+        """Sum another trace's indirect-target histograms into this one."""
         for site, targets in other.jump_targets.items():
-            self.jump_targets.setdefault(site, set()).update(targets)
+            table = self.jump_targets.setdefault(site, {})
+            for target, count in targets.items():
+                table[target] = table.get(target, 0) + count
         for site, targets in other.call_targets.items():
-            self.call_targets.setdefault(site, set()).update(targets)
+            table = self.call_targets.setdefault(site, {})
+            for target, count in targets.items():
+                table[target] = table.get(target, 0) + count
         self.runs += other.runs
         self.instructions += other.instructions
         self.wall_seconds += other.wall_seconds
@@ -89,7 +99,8 @@ class ICFTTracer:
         def hook(machine_, thread, source, target, kind):
             table = (result.call_targets if kind == "call"
                      else result.jump_targets)
-            table.setdefault(source, set()).add(target)
+            histo = table.setdefault(source, {})
+            histo[target] = histo.get(target, 0) + 1
 
         machine.indirect_hooks.append(hook)
         started = time.perf_counter()

@@ -50,10 +50,16 @@ class Lifter:
     def __init__(self, image: Image, cfg: RecoveredCFG,
                  atomic_mode: str = "builtin",
                  miss_mode: str = "runtime",
-                 lazy_flags: bool = True) -> None:
+                 lazy_flags: bool = True,
+                 pgo=None) -> None:
         self.image = image
         self.cfg = cfg
         self.atomic_mode = atomic_mode
+        #: Optional :class:`repro.profile.ProfileGuide`: orders each
+        #: indirect site's dispatch cases hottest-first (guarded
+        #: devirtualisation — the dominant target costs one compare,
+        #: the rest remain as the fallback chain).
+        self.pgo = pgo
         #: "runtime": misses call the additive-lifting hook (§3.2);
         #: "abort": no miss handling — the program dies on unknown
         #: transfers, as with the static baseline recompilers.
@@ -275,7 +281,7 @@ class Lifter:
             if fall_block is None:
                 fall_block = self._miss_block(fn, builder, site, const(fall))
             cases = []
-            for target in sorted(self.cfg.indirect_targets.get(site, ())):
+            for target in self._dispatch_order(site, "call"):
                 callee = self.fn_map.get(target)
                 if callee is None:
                     continue
@@ -293,7 +299,7 @@ class Lifter:
         if kind == "indjmp":
             value = translator.read_operand(terminator.operands[0], 8)
             cases = []
-            for target in sorted(self.cfg.indirect_targets.get(site, ())):
+            for target in self._dispatch_order(site, "jump"):
                 if target in blocks:
                     cases.append((target, blocks[target]))
             miss = self._miss_block(fn, builder, site, value)
@@ -313,6 +319,19 @@ class Lifter:
             builder.unreachable()
             return
         raise LiftError(f"unknown terminator kind {kind!r}")
+
+    def _dispatch_order(self, site: int, kind: str) -> List[int]:
+        """Candidate targets of an indirect site, in dispatch order.
+
+        Unguided: sorted by address (bit-identical to the historical
+        behaviour).  Profile-guided: hottest traced target first, so
+        the compare-and-branch chain the switch lowers into tests the
+        dominant target with a single compare.
+        """
+        targets = self.cfg.indirect_targets.get(site, ())
+        if self.pgo is None:
+            return sorted(targets)
+        return self.pgo.ordered_targets(site, kind, targets)
 
     # -- naive-atomics spin loop expansion (Listing 1) -------------------------------------
 

@@ -43,6 +43,13 @@ TLS_REG = Reg("r15")
 _JCC_FOR_PRED = {spec.cmp_pred: name for name, spec in SPEC.items()
                  if spec.cmp_pred is not None}
 
+#: icmp predicate -> the predicate of the opposite outcome, used by
+#: profile-guided branch-sense selection to fall through to (or jump
+#: toward) the hot successor.  Keys are IR predicates, not mnemonics.
+_INVERSE_PRED = {"eq": "ne", "ne": "eq",
+                 "slt": "sge", "sge": "slt", "sle": "sgt", "sgt": "sle",
+                 "ult": "uge", "uge": "ult", "ule": "ugt", "ugt": "ule"}
+
 
 class LoweringError(Exception):
     """Raised when IR cannot be mapped to machine code."""
@@ -108,7 +115,8 @@ class FunctionLowering:
 
     def __init__(self, fn: Function, module: Module, asm: Assembler,
                  label_prefix: str, global_addrs: Dict[str, int],
-                 import_slot, fn_labels: Dict[str, str]) -> None:
+                 import_slot, fn_labels: Dict[str, str],
+                 pgo=None) -> None:
         self.fn = fn
         self.module = module
         self.asm = asm
@@ -116,6 +124,9 @@ class FunctionLowering:
         self.global_addrs = global_addrs
         self.import_slot = import_slot
         self.fn_labels = fn_labels
+        #: Optional :class:`repro.profile.ProfileGuide`.  When absent
+        #: every decision below is byte-for-byte the unguided one.
+        self.pgo = pgo
         self.vregs: Dict[Instruction, _VReg] = {}
         self.copies: Dict[Block, List[Tuple[object, _VReg]]] = {}
         self.alloca_slots: Dict[Alloca, int] = {}
@@ -154,7 +165,54 @@ class FunctionLowering:
         intervals, call_positions, rax_clobbers = self._intervals()
         self._allocate(intervals, call_positions, rax_clobbers)
         self._ordered_ir = _fence_ordered_accesses(self.fn)
+        self._plan_layout()
         self._emit()
+
+    def _plan_layout(self) -> None:
+        """Choose the block emission order.
+
+        Unguided, blocks are emitted in function order (the lifter's
+        address order), exactly as before.  With a profile, a greedy
+        hot-chain layout makes the hottest successor of each block its
+        fall-through: the assembler's peephole then deletes the
+        ``jmp``-to-next, so hot edges stop paying an executed jump and
+        cold blocks sink to the bottom.  Register allocation is
+        unaffected — liveness is a property of the CFG, not of where
+        blocks sit in the stream.
+        """
+        blocks = self.fn.blocks
+        self._pgo_weights = {}
+        if self.pgo is None or len(blocks) < 3:
+            self._layout = list(blocks)
+        else:
+            weights = self.pgo.ir_block_weights(self.fn)
+            self._pgo_weights = weights
+            order = {block: i for i, block in enumerate(blocks)}
+            # Tie-break on original position so layout is deterministic
+            # and degenerates to the unguided order when all weights tie.
+            rank = lambda b: (weights.get(b, 0), -order[b])
+            placed = []
+            placed_set = set()
+            current = blocks[0]         # entry stays first (prologue
+            while True:                 # falls through into it)
+                placed.append(current)
+                placed_set.add(current)
+                succs = [s for s in current.successors()
+                         if s not in placed_set]
+                if succs:
+                    current = max(succs, key=rank)
+                    continue
+                rest = [b for b in blocks if b not in placed_set]
+                if not rest:
+                    break
+                current = max(rest, key=rank)
+            self._layout = placed
+            if placed != list(blocks):
+                self.pgo.count("functions_relaid")
+        self._next_in_layout = {
+            block: (self._layout[i + 1] if i + 1 < len(self._layout)
+                    else None)
+            for i, block in enumerate(self._layout)}
 
     def _split_critical_edges(self) -> None:
         """Split edges from a multi-successor block into a multi-
@@ -169,7 +227,11 @@ class FunctionLowering:
             if not isinstance(term, (CondBr, Switch)) or \
                     len(set(term.successors())) < 2:
                 continue
-            for succ in set(term.successors()):
+            # Dedupe in successor order, NOT via a set: Block hashes by
+            # identity, so set iteration order varies per process and
+            # the split blocks' positions — and hence the emitted bytes
+            # — would too, breaking the pipeline's bit-determinism.
+            for succ in dict.fromkeys(term.successors()):
                 if not succ.phis() or len(preds.get(succ, ())) < 2:
                     continue
                 index = self.fn.blocks.index(block) + 1
@@ -521,7 +583,7 @@ class FunctionLowering:
         # Slot addressing: below saved regs.
         self._slot_base = -(len(used_cs) * 8 + 8)   # below saved r15
 
-        for block in self.fn.blocks:
+        for block in self._layout:
             asm.label(self.block_label(block))
             for instr in block.instructions:
                 self._emit_instr(block, instr)
@@ -969,6 +1031,25 @@ class FunctionLowering:
                 asm.emit(ins("mov", self._slot_mem(target.slot),
                              Reg("r10")))
 
+    def _should_invert_branch(self, block: Block, instr: CondBr) -> bool:
+        """Profile-guided jcc sense: jump toward the *cold* outcome.
+
+        ``jcc X; jmp Y`` charges the Y path an extra executed jump, so
+        the hot successor should be X — or, better, the fall-through
+        (the peephole then deletes ``jmp Y`` entirely).  Inverting when
+        the layout put ``if_true`` next, or when neither is next but
+        ``if_false`` is measurably hotter, keeps the hot path jumpless.
+        """
+        if self.pgo is None or instr.if_true is instr.if_false:
+            return False
+        nxt = self._next_in_layout.get(block)
+        if nxt is instr.if_true:
+            return True
+        if nxt is instr.if_false:
+            return False
+        weights = self._pgo_weights
+        return weights.get(instr.if_false, 0) > weights.get(instr.if_true, 0)
+
     def _emit_condbr(self, block: Block, instr: CondBr) -> None:
         asm = self.asm
         cond = instr.cond
@@ -977,6 +1058,7 @@ class FunctionLowering:
         # Edge copies first: they stage through r10, which the compare
         # operands may need afterwards.
         self._emit_edge_copies(block)
+        invert = self._should_invert_branch(block, instr)
         if isinstance(cond, ICmp) and cond in self._fused_cmps:
             width = self._width_of(cond.operands[0].type)
             a = self._use(cond.operands[0], "r10")
@@ -987,10 +1069,21 @@ class FunctionLowering:
             else:
                 b_operand = self._use(b, "r11")
             asm.emit(ins("cmp", a, b_operand, width=width))
-            asm.emit(ins(_JCC_FOR_PRED[cond.pred], true_label))
-            asm.emit(ins("jmp", false_label))
+            inverse = _INVERSE_PRED.get(cond.pred) if invert else None
+            if inverse is not None and inverse in _JCC_FOR_PRED:
+                self.pgo.count("branches_inverted")
+                asm.emit(ins(_JCC_FOR_PRED[inverse], false_label))
+                asm.emit(ins("jmp", true_label))
+            else:
+                asm.emit(ins(_JCC_FOR_PRED[cond.pred], true_label))
+                asm.emit(ins("jmp", false_label))
             return
         reg = self._use(cond, "r10")
         asm.emit(ins("test", reg, reg))
-        asm.emit(ins("jne", true_label))
-        asm.emit(ins("jmp", false_label))
+        if invert:
+            self.pgo.count("branches_inverted")
+            asm.emit(ins("je", false_label))
+            asm.emit(ins("jmp", true_label))
+        else:
+            asm.emit(ins("jne", true_label))
+            asm.emit(ins("jmp", false_label))

@@ -31,13 +31,17 @@ from .runtime import RecompiledBinaryBuilder
 
 #: Pipeline stage names, in execution order.  Span names are
 #: ``recompile.<stage>``; ``RecompileStats`` has one ``<stage>_seconds``
-#: field per entry (``fences`` maps to ``fence_seconds``).
-STAGES = ("disasm", "trace", "lift", "fences", "opt", "lower")
+#: field per entry (``fences`` maps to ``fence_seconds``).  The ``pgo``
+#: stage (profile-guide construction) only runs on profile-guided
+#: recompilations; unguided runs emit no such span and its field stays
+#: zero.
+STAGES = ("disasm", "trace", "pgo", "lift", "fences", "opt", "lower")
 
 #: Span-name suffix -> RecompileStats field.
 _STAGE_FIELDS = {
     "disasm": "disasm_seconds",
     "trace": "trace_seconds",
+    "pgo": "pgo_seconds",
     "lift": "lift_seconds",
     "fences": "fence_seconds",
     "opt": "opt_seconds",
@@ -55,6 +59,7 @@ class RecompileStats:
     """
     disasm_seconds: float = 0.0
     trace_seconds: float = 0.0
+    pgo_seconds: float = 0.0
     lift_seconds: float = 0.0
     fence_seconds: float = 0.0
     opt_seconds: float = 0.0
@@ -67,11 +72,13 @@ class RecompileStats:
 
     @property
     def total_seconds(self) -> float:
-        """End-to-end pipeline wall time: disassembly + trace merge +
-        lift + fence insertion + optimise + lower, in seconds."""
+        """End-to-end pipeline wall time: every stage field summed
+        (disassembly + trace merge + profile guide + lift + fence
+        insertion + optimise + lower), in seconds."""
         return (self.disasm_seconds + self.trace_seconds +
-                self.lift_seconds + self.fence_seconds +
-                self.opt_seconds + self.lower_seconds)
+                self.pgo_seconds + self.lift_seconds +
+                self.fence_seconds + self.opt_seconds +
+                self.lower_seconds)
 
     def stage_seconds(self) -> Dict[str, float]:
         """Stage name -> seconds, in pipeline order (the same shape as
@@ -120,6 +127,12 @@ class Recompiler:
     * ``record_entries``: build the callback-recording variant;
     * ``lazy_flags`` / ``fence_stack_exemption``: ablation toggles for
       the compare-fusion and emulated-stack fence exemptions;
+    * ``profile``: an execution :class:`repro.profile.Profile` of the
+      input binary; when given, a ``recompile.pgo`` stage builds a
+      :class:`~repro.profile.ProfileGuide` that steers indirect-call
+      promotion (lifter), hot inlining + loop unrolling (optimiser) and
+      block layout / branch senses (lowering).  When ``None`` the
+      pipeline is byte-for-byte the unguided one;
     * ``tracer`` / ``counters``: the observability sinks.  A private
       :class:`Tracer` is created when none is given, so stats are
       always span-derived; pass your own to export the trace
@@ -136,6 +149,7 @@ class Recompiler:
                  enter_import: str = "__poly_enter",
                  lazy_flags: bool = True,
                  fence_stack_exemption: bool = True,
+                 profile=None,
                  tracer: Optional[Tracer] = None,
                  counters: Optional[Counters] = None) -> None:
         self.image = image
@@ -149,6 +163,7 @@ class Recompiler:
         self.enter_import = enter_import
         self.lazy_flags = lazy_flags
         self.fence_stack_exemption = fence_stack_exemption
+        self.profile = profile
         self.tracer = tracer if tracer is not None else Tracer()
         self.counters = counters
 
@@ -192,12 +207,24 @@ class Recompiler:
         stats.blocks = cfg.total_blocks()
         stats.icfts = cfg.total_icfts()
 
+        pgo = None
+        if self.profile is not None:
+            with self.tracer.span("recompile.pgo") as span:
+                from ..profile import ProfileGuide
+                pgo = ProfileGuide(self.profile, self.counters)
+                pgo.count("guided_recompilations")
+                span.args.update(
+                    profile_digest=self.profile.digest(),
+                    blocks_profiled=len(self.profile.block_counts),
+                    hot_threshold=self.profile.hot_threshold())
+            stats.apply_span(span)
+
         with self.tracer.span("recompile.lift",
                               functions=stats.functions,
                               blocks=stats.blocks) as span:
             lifter = Lifter(self.image, cfg, atomic_mode=self.atomic_mode,
                             miss_mode=self.miss_mode,
-                            lazy_flags=self.lazy_flags)
+                            lazy_flags=self.lazy_flags, pgo=pgo)
             module = lifter.lift()
         stats.apply_span(span)
 
@@ -224,10 +251,20 @@ class Recompiler:
                                   counters=self.counters).run(module)
                 if self.observed_callbacks is not None:
                     with self.tracer.span("opt.inline"):
-                        Inliner(max_blocks=8, respect_visibility=True) \
-                            .run_module(module)
+                        Inliner(max_blocks=8, respect_visibility=True,
+                                profile=pgo).run_module(module)
                     standard_pipeline(tracer=self.tracer,
                                       counters=self.counters).run(module)
+                if pgo is not None:
+                    with self.tracer.span("opt.unroll"):
+                        from ..profile import CostGuidedUnroll
+                        unrolled = CostGuidedUnroll(self.image, pgo) \
+                            .run(module)
+                    if unrolled:
+                        # Clean up the clones (copy propagation, DCE,
+                        # simplifycfg) exactly as after inlining.
+                        standard_pipeline(tracer=self.tracer,
+                                          counters=self.counters).run(module)
             stats.fences_final = count_fences(module)
             span.args["fences_final"] = stats.fences_final
         stats.apply_span(span)
@@ -238,7 +275,8 @@ class Recompiler:
                      for block in fn.blocks.values()]
             builder = RecompiledBinaryBuilder(
                 module, self.image, record_entries=self.record_entries,
-                scrub_blocks=scrub, enter_import=self.enter_import)
+                scrub_blocks=scrub, enter_import=self.enter_import,
+                pgo=pgo)
             image = builder.build()
         stats.apply_span(span)
         return RecompileResult(image=image, module=module, cfg=cfg,

@@ -54,11 +54,15 @@ class RecompiledBinaryBuilder:
                  record_entries: bool = False,
                  emustack_size: int = EMUSTACK_SIZE,
                  scrub_blocks=None,
-                 enter_import: str = "__poly_enter") -> None:
+                 enter_import: str = "__poly_enter",
+                 pgo=None) -> None:
         self.module = module
         self.input_image = input_image
         self.record_entries = record_entries
         self.emustack_size = emustack_size
+        #: Optional :class:`repro.profile.ProfileGuide` steering block
+        #: layout and branch senses in each function's lowering.
+        self.pgo = pgo
         #: Runtime entry hook used by wrappers.  Baseline recompilers
         #: substitute defective variants (__mcsema_enter shares one
         #: state block between all threads; __binrec_enter initialises
@@ -92,7 +96,8 @@ class RecompiledBinaryBuilder:
                 continue
             lowering = FunctionLowering(
                 fn, self.module, asm, self.fn_labels[fn.name],
-                self.global_addrs, self.output.import_slot, self.fn_labels)
+                self.global_addrs, self.output.import_slot, self.fn_labels,
+                pgo=self.pgo)
             lowering.lower()
         asm.peephole()
         code = asm.assemble()

@@ -99,6 +99,13 @@ class Assembler:
         for instr in instrs:
             self.emit(instr)
 
+    def stream(self) -> List[_Item]:
+        """The accumulated item stream — instructions interleaved with
+        label definitions, in emission order.  Read-only view for
+        analysers (e.g. the PGO cost model walks it to attribute
+        instruction costs to source blocks by label)."""
+        return list(self._items)
+
     def mark_access(self, instr: Instruction) -> None:
         """Tag an already-emitted instruction *object* so its final
         address is reported in :attr:`AssembledCode.marked`.

@@ -4,7 +4,7 @@ from .constfold import ConstFold, eval_binop, eval_icmp
 from .dce import DCE
 from .inline import Inliner, clone_function_body, inline_call
 from .localopt import DSE, LoadElim, LocalCSE
-from .loops import LICM, LoopSimplify
+from .loops import LICM, LoopSimplify, LoopUnroll
 from .manager import Pass, PassManager, PassRunRecord, module_size
 from .mem2reg import Mem2Reg
 from .regpromote import RegPromote
@@ -45,7 +45,8 @@ def standard_pipeline(verify: bool = False, tracer=None,
 __all__ = [
     "ConstFold", "eval_binop", "eval_icmp", "DCE", "Inliner",
     "clone_function_body", "inline_call", "DSE", "LoadElim", "LocalCSE",
-    "LICM", "LoopSimplify", "Pass", "PassManager", "PassRunRecord",
+    "LICM", "LoopSimplify", "LoopUnroll", "Pass", "PassManager",
+    "PassRunRecord",
     "Mem2Reg", "RegPromote", "ScalarPromotion", "SimplifyCFG",
     "module_size", "standard_pipeline",
 ]

@@ -143,15 +143,31 @@ class Inliner(Pass):
     ``respect_visibility`` skips external-visible functions (they must
     survive as callback entry points until the callback analysis clears
     them).
+
+    With a :class:`repro.profile.ProfileGuide` attached, call sites in
+    measured-hot blocks use the ``hot_max_blocks`` size budget instead:
+    the call/ret + prologue/epilogue overhead is paid on every
+    execution there, so a bigger callee is worth duplicating.  Cold
+    sites keep the unguided threshold, bounding code growth.
     """
 
     name = "inline"
 
     def __init__(self, max_blocks: int = 8, respect_visibility: bool = True,
-                 exhaustive: bool = False) -> None:
+                 exhaustive: bool = False, profile=None,
+                 hot_max_blocks: int = 32) -> None:
         self.max_blocks = max_blocks
         self.respect_visibility = respect_visibility
         self.exhaustive = exhaustive
+        self.profile = profile          # a ProfileGuide, despite the name
+        self.hot_max_blocks = hot_max_blocks
+
+    def _size_budget(self, call: Call) -> int:
+        """Callee-size cap for one call site."""
+        if self.profile is not None and \
+                self.profile.call_block_hot(call.parent):
+            return max(self.max_blocks, self.hot_max_blocks)
+        return self.max_blocks
 
     def run_module(self, module: Module) -> bool:
         """Inline eligible call sites across the module bottom-up."""
@@ -169,14 +185,19 @@ class Inliner(Pass):
                         continue
                     if self._recursive(callee):
                         continue
+                    boosted = False
                     if not self.exhaustive:
                         if self.respect_visibility and callee.external_visible:
                             continue
-                        if len(callee.blocks) > self.max_blocks:
+                        budget = self._size_budget(call)
+                        if len(callee.blocks) > budget:
                             continue
+                        boosted = len(callee.blocks) > self.max_blocks
                     if inline_call(call, module):
                         progress = True
                         changed = True
+                        if boosted:
+                            self.profile.count("hot_inlines")
         return changed
 
     @staticmethod

@@ -1,0 +1,23 @@
+"""Feedback-directed optimisation (PGO) for the hybrid recompiler.
+
+Collect a profile from concrete emulated executions of the original
+binary, persist/merge it, and feed it back into recompilation:
+
+>>> from repro.profile import ProfileCollector
+>>> profile = ProfileCollector(image).collect(lambda _: make_library())
+>>> result = hybrid_recompile(workload, opt_level=2, profile=profile)
+
+See ``docs/PGO.md`` for the full workflow and knobs.
+"""
+
+from .collector import ProfileCollector
+from .costmodel import (CostGuidedUnroll, expected_function_cost,
+                        instruction_cost)
+from .format import PROFILE_FORMAT, PROFILE_VERSION, Profile, ProfileError
+from .guide import ProfileGuide
+
+__all__ = [
+    "PROFILE_FORMAT", "PROFILE_VERSION",
+    "CostGuidedUnroll", "Profile", "ProfileCollector", "ProfileError",
+    "ProfileGuide", "expected_function_cost", "instruction_cost",
+]

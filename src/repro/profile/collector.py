@@ -1,0 +1,152 @@
+"""Execution-profile collection over the emulator.
+
+The collector generalises the ICFT tracer (§3.2): where the tracer
+records only indirect-branch *targets*, the collector keeps everything
+a feedback-directed recompilation can use — per-block execution
+counts, taken/not-taken edge counts at branches, call-site counts,
+counted indirect-target histograms and loop trip summaries — all from
+the same one-concrete-emulated-execution-per-input the hybrid pipeline
+already pays for.
+
+It is built on two existing emulator hooks and changes no emulator
+code paths of its own:
+
+* ``Machine.step_hook`` fires once per retired instruction, on both
+  the ``fast`` and ``reference`` engines (the fast engine drops to its
+  hook-preserving single-step path when a hook is installed), and
+  composes with an attached sanitizer.  With no collector attached the
+  emulator's hot loop is untouched, so bit-determinism of unprofiled
+  runs is preserved by construction.
+* ``Machine.indirect_hooks`` fires on indirect jumps/calls, exactly as
+  for :class:`repro.core.icft_tracer.ICFTTracer`.
+
+Import stubs never reach ``step_hook`` (external calls short-circuit
+before decode), so external library time is invisible to the profile —
+counts describe guest code only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Dict, Optional, Sequence
+
+from ..binfmt import Image
+from ..core.cfg import RecoveredCFG
+from ..core.disassembler import Disassembler
+from ..emulator import EmulationFault, Machine
+from ..isa.instructions import CONDITIONAL_JUMPS
+from .format import Profile
+
+#: Mnemonics after which the next instruction executed by the same
+#: thread defines a control-flow edge worth counting.  Conditional
+#: jumps give taken/not-taken probabilities; ``jmp`` is included so
+#: unconditional loop latches still contribute back-edge (trip) counts.
+_EDGE_SOURCES = frozenset(CONDITIONAL_JUMPS) | {"jmp"}
+
+
+class ProfileCollector:
+    """Collects an execution :class:`Profile` for one binary image."""
+
+    def __init__(self, image: Image, cfg: Optional[RecoveredCFG] = None):
+        self.image = image
+        self.image_sha256 = hashlib.sha256(image.to_bytes()).hexdigest()
+        if cfg is None:
+            cfg = Disassembler(image).recover()
+        self.cfg = cfg
+        #: Static block-start addresses; block counts are recorded only
+        #: at these so the profile maps 1:1 onto lifted IR blocks.
+        self.block_starts = frozenset(
+            addr for fn in cfg.functions.values() for addr in fn.blocks)
+
+    def collect(self, library_factory, inputs: Sequence = (None,),
+                seed: int = 0, max_cycles: int = 200_000_000,
+                engine: str = "fast", sanitizer_factory=None) -> Profile:
+        """Profile one execution per element of ``inputs``.
+
+        Mirrors :meth:`ICFTTracer.trace`: ``library_factory(item)``
+        returns a fresh :class:`ExternalLibrary` for that input, and
+        run ``index`` uses ``seed + index``.  ``sanitizer_factory()``
+        (optional) builds a fresh sanitizer per run, demonstrating that
+        profiling composes with race detection.
+        """
+        profile = Profile(image_sha256=self.image_sha256)
+        for index, item in enumerate(inputs):
+            sanitizer = sanitizer_factory() if sanitizer_factory else None
+            run = self.collect_once(
+                library_factory(item), seed=seed + index,
+                max_cycles=max_cycles, engine=engine, sanitizer=sanitizer)
+            profile.merge(run)
+        return profile
+
+    def collect_once(self, library, seed: int = 0,
+                     max_cycles: int = 200_000_000, engine: str = "fast",
+                     sanitizer=None) -> Profile:
+        """Run the image once with profiling hooks installed."""
+        profile = Profile(image_sha256=self.image_sha256, runs=1)
+        machine = Machine(self.image, library, seed=seed,
+                          engine=engine, sanitizer=sanitizer)
+
+        block_starts = self.block_starts
+        block_counts = profile.block_counts
+        edge_counts = profile.edge_counts
+        call_counts = profile.call_counts
+        # Per-thread pending branch site: the edge a branch took is the
+        # address of the *next* instruction that thread retires, so the
+        # site is parked here until then.  Keyed by tid, the bookkeeping
+        # survives preemption — another thread's steps cannot resolve
+        # this thread's branch.
+        pending: Dict[int, int] = {}
+
+        def step_hook(machine_, thread, instr):
+            addr = instr.address
+            site = pending.pop(thread.tid, None)
+            if site is not None:
+                edges = edge_counts.setdefault(site, {})
+                edges[addr] = edges.get(addr, 0) + 1
+            if addr in block_starts:
+                block_counts[addr] = block_counts.get(addr, 0) + 1
+            mnemonic = instr.mnemonic
+            if mnemonic in _EDGE_SOURCES:
+                pending[thread.tid] = addr
+            elif mnemonic == "call":
+                call_counts[addr] = call_counts.get(addr, 0) + 1
+
+        def indirect_hook(machine_, thread, source, target, kind):
+            table = (profile.indirect_calls if kind == "call"
+                     else profile.indirect_jumps)
+            histo = table.setdefault(source, {})
+            histo[target] = histo.get(target, 0) + 1
+
+        machine.step_hook = step_hook
+        machine.indirect_hooks.append(indirect_hook)
+        started = time.perf_counter()
+        try:
+            machine.run(max_cycles=max_cycles)
+        except EmulationFault:
+            # Like the tracer: a crashing input still contributes the
+            # counts it accumulated before faulting.
+            pass
+        profile.wall_seconds = time.perf_counter() - started
+        profile.instructions = machine.instructions
+        self._summarise_loops(profile)
+        return profile
+
+    def _summarise_loops(self, profile: Profile) -> None:
+        """Reduce raw edge counts to per-header trip summaries.
+
+        A back edge is a counted edge whose destination is a block
+        start at or before the branch site (natural-loop approximation
+        over the address-ordered layout the compiler emits).  Entries
+        are what remains of the header's executions once back-edge
+        arrivals are subtracted.
+        """
+        iterations: Dict[int, int] = {}
+        for site, edges in profile.edge_counts.items():
+            for dest, count in edges.items():
+                if dest <= site and dest in self.block_starts:
+                    iterations[dest] = iterations.get(dest, 0) + count
+        for header, iters in iterations.items():
+            entries = max(0, profile.block_counts.get(header, 0) - iters)
+            profile.loop_trips[header] = {
+                "entries": entries, "iterations": iters}

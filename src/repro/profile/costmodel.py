@@ -1,0 +1,185 @@
+"""Cost-model-verified loop unrolling.
+
+Unrolling is the one profile-guided transform whose payoff depends on
+a *downstream* decision: the register allocator.  Cloning a loop body
+lengthens live ranges, and when that tips a function into spilling,
+the reloads it adds to the hot loop cost far more than the back-edge
+jump the unroll removes — the emulator charges every memory operand
+(:data:`repro.emulator.MEMORY_ACCESS_COST`) on top of the mnemonic's
+base cost.  No IR-level heuristic sees that cliff, so this module does
+not guess: it *lowers* each candidate through the real backend and
+prices the result with the emulator's own cost tables, weighted by the
+measured block counts.
+
+:class:`CostGuidedUnroll` drives the trials.  For every loop that
+:class:`~repro.passes.loops.LoopUnroll` considers unrollable it clones
+the module, applies the unroll at each trial factor, re-runs the
+scalar clean-up passes, lowers the affected function into a scratch
+assembler, and compares the profile-weighted cycle estimate against
+the un-unrolled baseline.  Only loops the model prices cheaper are
+unrolled in the real module — each at its winning factor.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from ..emulator import BASE_COSTS, MEMORY_ACCESS_COST
+from ..ir import Function, Module, natural_loops
+from ..isa.assembler import Assembler, _LabelDef
+from ..isa.instructions import Mem
+from ..passes import standard_pipeline
+from ..passes.loops import LoopUnroll
+from .guide import ProfileGuide
+
+
+def instruction_cost(instr) -> float:
+    """Static cycle price of one assembled instruction — the same
+    ``base + per-memory-operand`` charge the emulator levies."""
+    cost = BASE_COSTS.get(instr.mnemonic, 1)
+    for op in instr.operands:
+        if isinstance(op, Mem):
+            cost += MEMORY_ACCESS_COST
+    return cost
+
+
+def expected_function_cost(fn: Function, module: Module, image,
+                           guide: ProfileGuide,
+                           scaled_blocks: Set[str] = frozenset(),
+                           factor: int = 1) -> float:
+    """Profile-weighted cycle estimate of ``fn``'s lowered body.
+
+    Lowers ``fn`` through the real backend (critical-edge splitting,
+    allocation, peephole) into a scratch assembler, then sums
+    ``weight(block) * cost(instr)`` over the emitted stream, walking
+    the block labels to attribute instructions.  Blocks named in
+    ``scaled_blocks`` — an unrolled loop's header and latch — and the
+    ``.unroll`` clones count ``1/factor`` of their measured weight,
+    since each copy executes that fraction of the original
+    iterations.
+
+    Lowering mutates ``fn`` (edge splits), so callers pass a clone.
+    """
+    from ..core.lowering import FunctionLowering
+    from ..core.runtime import PTEXT_BASE, RecompiledBinaryBuilder
+
+    builder = RecompiledBinaryBuilder(module, image)
+    builder._layout_rtdata()
+    asm = Assembler(base=PTEXT_BASE)
+    lowering = FunctionLowering(
+        fn, module, asm, builder.fn_labels[fn.name], builder.global_addrs,
+        builder.output.import_slot, builder.fn_labels, pgo=guide)
+    lowering.lower()
+    asm.peephole()
+
+    weights = {block.name: weight
+               for block, weight in lowering._pgo_weights.items()}
+    if not weights:     # tiny function: layout planning skipped weights
+        weights = {block.name: weight
+                   for block, weight in guide.ir_block_weights(fn).items()}
+    entry_weight = weights.get(fn.blocks[0].name, 0) if fn.blocks else 0
+
+    def block_weight(name: str) -> float:
+        weight = weights.get(name, entry_weight)   # epilogues run per call
+        if name in scaled_blocks or ".unroll" in name:
+            weight /= max(1, factor)
+        return weight
+
+    prefix = f"L_{fn.name}_"
+    current = float(entry_weight)
+    total = 0.0
+    for item in asm.stream():
+        if isinstance(item, _LabelDef):
+            if item.name.startswith(prefix):
+                current = block_weight(item.name[len(prefix):])
+        elif hasattr(item, "mnemonic"):
+            total += current * instruction_cost(item)
+    return total
+
+
+class CostGuidedUnroll:
+    """Trial-driven unrolling: keep only what the cost model prices in.
+
+    ``factors`` are tried per candidate; the cheapest estimate wins if
+    it beats the baseline by at least ``1 - margin``.  Estimates are
+    per-loop (each trial unrolls exactly one loop in a module clone),
+    which prices allocator pressure from that loop alone; concurrent
+    unrolls in one function are assumed independent.
+    """
+
+    def __init__(self, image, guide: ProfileGuide,
+                 factors: Iterable[int] = (2, 4),
+                 margin: float = 0.998) -> None:
+        self.image = image
+        self.guide = guide
+        self.factors = tuple(factors)
+        self.margin = margin
+        #: Guide without counters: trials must not pollute ``pgo.*``.
+        self._silent = ProfileGuide(guide.profile)
+
+    def run(self, module: Module) -> bool:
+        """Trial every unroll candidate; apply the winners.  True when
+        the module changed."""
+        probe = LoopUnroll(profile=self._silent)
+        decisions: Dict[Tuple[str, str], int] = {}
+        for fn in module.functions:
+            candidates = [loop.header.name for loop in natural_loops(fn)
+                          if probe._candidate(fn, loop) is not None]
+            if not candidates:
+                continue
+            base = self._trial(module, fn.name, None, 0)
+            for header_name in candidates:
+                best: Optional[Tuple[float, int]] = None
+                for factor in self.factors:
+                    est = self._trial(module, fn.name, header_name, factor)
+                    self.guide.count("unroll_trials")
+                    if est < base * self.margin and \
+                            (best is None or est < best[0]):
+                        best = (est, factor)
+                if best is not None:
+                    decisions[(fn.name, header_name)] = best[1]
+                else:
+                    self.guide.count("unrolls_rejected_by_cost_model")
+        if not decisions:
+            return False
+        return LoopUnroll(profile=self.guide,
+                          select=decisions).run_module(module)
+
+    # -- one trial --------------------------------------------------------
+
+    def _trial(self, module: Module, fn_name: str,
+               header_name: Optional[str], factor: int) -> float:
+        """Estimated cycles of ``fn_name`` with one loop unrolled at
+        ``factor`` (or the baseline when ``header_name`` is None)."""
+        clone = copy.deepcopy(module)
+        fn = next(f for f in clone.functions if f.name == fn_name)
+        scaled: Set[str] = set()
+        if header_name is not None:
+            loop = next((l for l in natural_loops(fn)
+                         if l.header.name == header_name), None)
+            if loop is None:
+                return float("inf")
+            probe = LoopUnroll(profile=self._silent)
+            candidate = probe._candidate(fn, loop)
+            if candidate is None:
+                return float("inf")
+            scaled = {candidate[0].name, candidate[1].name}
+            if not probe._unroll(fn, loop, factor):
+                return float("inf")
+            self._cleanup(fn, clone)
+        return expected_function_cost(fn, clone, self.image, self._silent,
+                                      scaled_blocks=scaled, factor=factor)
+
+    @staticmethod
+    def _cleanup(fn: Function, module: Module) -> None:
+        """Re-run the scalar clean-ups on the trial clone, confined to
+        ``fn``, mirroring what the real pipeline does after unrolling
+        so the trial prices the code the backend will actually see."""
+        for _ in range(2):
+            changed = False
+            for pass_ in standard_pipeline().passes:
+                changed |= pass_.run_function(fn, module)
+            if not changed:
+                break

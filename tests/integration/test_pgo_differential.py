@@ -1,0 +1,74 @@
+"""Differential testing: profile-guided vs unguided recompilation.
+
+PGO reshapes code (layout, branch senses, inlining, unrolling,
+indirect-call promotion) but must never change observable behaviour:
+for every workload and seed, the guided image's stdout and exit code
+are bit-identical to the unguided image's — which are themselves
+checked against the original binary.  Also pins the no-profile
+invariants: ``profile=None`` recompilations stay deterministic and
+their artifact-cache option dict carries no ``profile`` key, so PGO's
+existence cannot invalidate pre-existing cache entries.
+"""
+
+import pytest
+
+from repro.core import Recompiler, run_image
+from repro.core.batch import hybrid_options
+from repro.profile import ProfileCollector
+from repro.workloads import get as get_workload
+
+WORKLOADS = ("histogram", "string_match", "word_count")
+SEEDS = (21, 22)
+OPT_LEVEL = 2
+SIZE = "small"
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_pgo_output_equivalent(name):
+    workload = get_workload(name)
+    image = workload.compile(opt_level=OPT_LEVEL)
+    profile = ProfileCollector(image).collect(
+        lambda _item: workload.library(SIZE), inputs=[None], seed=SEEDS[0])
+
+    plain = Recompiler(image).recompile()
+    guided = Recompiler(image, profile=profile).recompile()
+    assert guided.image.to_bytes() != plain.image.to_bytes(), \
+        "the profile guided nothing — no code changed"
+
+    for seed in SEEDS:
+        original = run_image(image, library=workload.library(SIZE),
+                             seed=seed)
+        assert original.ok
+        plain_run = run_image(plain.image, library=workload.library(SIZE),
+                              seed=seed)
+        pgo_run = run_image(guided.image, library=workload.library(SIZE),
+                            seed=seed)
+        assert plain_run.matches(original), \
+            f"{name} seed {seed}: unguided output diverged"
+        assert pgo_run.matches(original), \
+            f"{name} seed {seed}: guided output diverged"
+        assert pgo_run.stdout == plain_run.stdout
+        assert pgo_run.exit_code == plain_run.exit_code
+
+
+def test_unguided_recompilation_deterministic():
+    """Two profile=None recompilations in one process are bytewise
+    identical (set-iteration order must never leak into the output)."""
+    workload = get_workload("histogram")
+    image = workload.compile(opt_level=OPT_LEVEL)
+    a = Recompiler(image).recompile().image.to_bytes()
+    b = Recompiler(image).recompile().image.to_bytes()
+    assert a == b
+
+
+def test_no_profile_cache_key_unchanged():
+    """Without a profile the option dict has no ``profile`` key at all:
+    digests — and therefore warmed caches — predate PGO unchanged."""
+    workload = get_workload("histogram")
+    options = hybrid_options(workload, OPT_LEVEL, None, 21, False, True,
+                             None)
+    assert "profile" not in options
+    guided = hybrid_options(workload, OPT_LEVEL, None, 21, False, True,
+                            None, profile_digest="d" * 64)
+    assert guided["profile"] == "d" * 64
+    assert {k: v for k, v in guided.items() if k != "profile"} == options

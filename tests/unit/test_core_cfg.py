@@ -152,7 +152,8 @@ class TestICFTTracer:
         # Two different callback targets across the two inputs.
         targets = set()
         for site_targets in result.call_targets.values():
-            targets |= site_targets
+            targets |= set(site_targets)
+            assert all(count >= 1 for count in site_targets.values())
         assert len(targets) == 2
 
     def test_apply_to_cfg(self):

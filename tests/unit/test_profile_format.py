@@ -1,0 +1,200 @@
+"""The execution-profile format: round-trip, merge algebra, digests.
+
+The profile is cache-key material (its digest joins the artifact-cache
+options for guided recompilations), so the format tests mirror
+``test_artifact_cache.py``: canonical rendering, cross-process
+hash-seed stability, and sensitivity to every counted field.
+"""
+
+import copy
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.profile import (PROFILE_FORMAT, PROFILE_VERSION, Profile,
+                           ProfileError)
+
+
+def sample_profile(sha: str = "a" * 64) -> Profile:
+    return Profile(
+        image_sha256=sha,
+        block_counts={0x400000: 12, 0x400010: 250},
+        edge_counts={0x40000c: {0x400010: 240, 0x400020: 10}},
+        call_counts={0x400018: 3},
+        indirect_calls={0x400030: {0x400100: 5, 0x400200: 1}},
+        indirect_jumps={0x400040: {0x400050: 7}},
+        loop_trips={0x400010: {"entries": 10, "iterations": 240}},
+        runs=1, instructions=1234, wall_seconds=0.5)
+
+
+class TestRoundTrip:
+
+    def test_save_load_identity(self, tmp_path):
+        profile = sample_profile()
+        path = str(tmp_path / "prof.json")
+        profile.save(path)
+        loaded = Profile.load(path)
+        assert loaded == profile
+        assert loaded.digest() == profile.digest()
+
+    def test_json_round_trip_preserves_int_keys(self):
+        profile = sample_profile()
+        again = Profile.from_json(profile.to_json())
+        assert again.block_counts == profile.block_counts
+        assert all(isinstance(k, int) for k in again.block_counts)
+        assert all(isinstance(k, int) for k in again.edge_counts)
+        assert again == profile
+
+    def test_format_and_version_stamped(self):
+        data = sample_profile().to_json()
+        assert data["format"] == PROFILE_FORMAT
+        assert data["version"] == PROFILE_VERSION
+
+    def test_wrong_format_rejected(self):
+        data = sample_profile().to_json()
+        data["format"] = "not-a-profile"
+        with pytest.raises(ProfileError):
+            Profile.from_json(data)
+
+    def test_wrong_version_rejected(self):
+        data = sample_profile().to_json()
+        data["version"] = "polynima-profile-v0"
+        with pytest.raises(ProfileError):
+            Profile.from_json(data)
+
+    def test_unreadable_file_raises_profile_error(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(ProfileError):
+            Profile.load(str(path))
+
+
+class TestMerge:
+
+    def shards(self):
+        a = sample_profile()
+        b = Profile(image_sha256=a.image_sha256,
+                    block_counts={0x400000: 3, 0x400100: 9},
+                    edge_counts={0x40000c: {0x400010: 1}},
+                    loop_trips={0x400010: {"entries": 2, "iterations": 20}},
+                    runs=1, instructions=40)
+        c = Profile(image_sha256=a.image_sha256,
+                    indirect_calls={0x400030: {0x400100: 2}},
+                    runs=2, instructions=7)
+        return a, b, c
+
+    def test_merge_sums_counts(self):
+        a, b, _c = self.shards()
+        merged = copy.deepcopy(a).merge(b)
+        assert merged.block_counts[0x400000] == 15
+        assert merged.block_counts[0x400100] == 9
+        assert merged.edge_counts[0x40000c][0x400010] == 241
+        assert merged.loop_trips[0x400010] == \
+            {"entries": 12, "iterations": 260}
+        assert merged.runs == 2
+        assert merged.instructions == 1274
+
+    def test_merge_commutative(self):
+        a, b, _c = self.shards()
+        ab = copy.deepcopy(a).merge(copy.deepcopy(b))
+        ba = copy.deepcopy(b).merge(copy.deepcopy(a))
+        assert ab.digest() == ba.digest()
+
+    def test_merge_associative(self):
+        a, b, c = self.shards()
+        left = copy.deepcopy(a).merge(
+            copy.deepcopy(b)).merge(copy.deepcopy(c))
+        right = copy.deepcopy(a).merge(
+            copy.deepcopy(b).merge(copy.deepcopy(c)))
+        assert left.digest() == right.digest()
+
+    def test_merge_identity_element(self):
+        a = sample_profile()
+        assert copy.deepcopy(a).merge(Profile()).digest() == a.digest()
+
+    def test_different_binaries_refuse_to_merge(self):
+        a = sample_profile("a" * 64)
+        b = sample_profile("b" * 64)
+        with pytest.raises(ProfileError):
+            a.merge(b)
+
+    def test_empty_adopts_image_identity(self):
+        a = Profile().merge(sample_profile())
+        assert a.image_sha256 == "a" * 64
+
+
+class TestDigest:
+
+    def test_wall_seconds_excluded(self):
+        a = sample_profile()
+        b = copy.deepcopy(a)
+        b.wall_seconds = 99.0
+        assert a.digest() == b.digest()
+
+    def test_counts_included(self):
+        a = sample_profile()
+        b = copy.deepcopy(a)
+        b.block_counts[0x400000] += 1
+        assert a.digest() != b.digest()
+
+    def test_insertion_order_irrelevant(self):
+        a = sample_profile()
+        b = copy.deepcopy(a)
+        b.block_counts = dict(reversed(list(b.block_counts.items())))
+        assert a.digest() == b.digest()
+
+    def test_stable_across_processes(self):
+        """Same profile, different PYTHONHASHSEED, same digest — the
+        digest keys artifact-cache entries across processes."""
+        program = (
+            "from test_profile_format import sample_profile\n"
+            "print(sample_profile().digest())\n"
+        )
+        here = os.path.dirname(os.path.abspath(__file__))
+        digests = set()
+        for seed in ("0", "1", "1234"):
+            env = dict(os.environ, PYTHONHASHSEED=seed,
+                       PYTHONPATH=os.pathsep.join([here] + sys.path))
+            out = subprocess.run(
+                [sys.executable, "-c", program], env=env, cwd=here,
+                capture_output=True, text=True, check=True)
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1, digests
+        assert digests == {sample_profile().digest()}
+
+
+class TestQueries:
+
+    def test_edge_probability(self):
+        p = sample_profile()
+        assert p.edge_probability(0x40000c, 0x400010) == pytest.approx(0.96)
+        assert p.edge_probability(0x40000c, 0x400020) == pytest.approx(0.04)
+        assert p.edge_probability(0x999999, 0x400010) == 0.0
+
+    def test_dominant_target(self):
+        p = sample_profile()
+        target, share = p.dominant_target(0x400030, "call")
+        assert target == 0x400100
+        assert share == pytest.approx(5 / 6)
+        assert p.dominant_target(0x999999, "call") == (None, 0.0)
+
+    def test_avg_trip_count(self):
+        p = sample_profile()
+        assert p.avg_trip_count(0x400010) == pytest.approx(24.0)
+        assert p.avg_trip_count(None) == 0.0
+        assert p.avg_trip_count(0x999999) == 0.0
+
+    def test_hot_threshold_is_mean_of_nonzero(self):
+        p = sample_profile()
+        assert p.hot_threshold() == (12 + 250) // 2
+        assert p.is_hot_block(0x400010)
+        assert not p.is_hot_block(0x400000)
+        assert Profile().hot_threshold() == 1
+
+    def test_to_trace_result_shares_shapes(self):
+        trace = sample_profile().to_trace_result()
+        assert trace.call_targets == {0x400030: {0x400100: 5, 0x400200: 1}}
+        assert trace.jump_targets == {0x400040: {0x400050: 7}}
+        assert trace.runs == 1
