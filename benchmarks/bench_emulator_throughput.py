@@ -1,13 +1,18 @@
 #!/usr/bin/env python
-"""Emulator throughput: host-side guest instructions/sec, before vs after.
+"""Emulator throughput: host-side guest instructions/sec across engines.
 
-"Before" is the seed interpreter (``engine="reference"``: per-step cost
-recomputation plus a per-instruction runnable rescan, kept verbatim in
-``Machine._run_reference``/``_step_reference``).  "After" is the
-two-tier plan-cache + superblock engine (``engine="fast"``, see
-``repro/emulator/engine.py`` and docs/PERFORMANCE.md).  Both engines
-are bit-identical per seed — this bench asserts that on every run, so
-the numbers always compare the same emulated work.
+Three engines, one emulated machine:
+
+- ``reference`` — the seed interpreter (per-step cost recomputation
+  plus a per-instruction runnable rescan, kept verbatim in
+  ``Machine._run_reference``/``_step_reference``).
+- ``fast`` — the two-tier plan-cache + superblock engine
+  (``repro/emulator/engine.py``).
+- ``jit`` — the tier-3 trace JIT that compiles hot superblocks into
+  specialized Python code objects (``repro/emulator/jit.py``).
+
+All three are bit-identical per seed — this bench asserts that on
+every run, so the numbers always compare the same emulated work.
 
 Writes ``BENCH_emulator.json`` at the repo root to seed the perf
 trajectory.  Runs as a script::
@@ -32,6 +37,7 @@ from common import geomean, write_result
 FULL_WORKLOADS = ("histogram", "kmeans", "linear_regression",
                   "matrix_multiply", "pca", "string_match", "word_count")
 SMOKE_WORKLOADS = ("histogram", "string_match")
+ENGINES = ("reference", "fast", "jit")
 SIZE = "small"
 OPT_LEVEL = 3
 SEED = 7
@@ -56,31 +62,45 @@ def _timed_run(image, library, engine):
 def bench_one(name: str, repeats: int):
     workload = get_workload(name)
     image = workload.compile(opt_level=OPT_LEVEL)
-    seconds = {"reference": float("inf"), "fast": float("inf")}
+    seconds = {engine: float("inf") for engine in ENGINES}
     fingerprints = {}
     instructions = 0
+    jit_stats = {}
+    # Warm the image-attached shared trace cache with one untimed run,
+    # so jit timings measure steady-state throughput rather than the
+    # one-off trace compilation (which later runs of the same image
+    # skip entirely).  Matters in --smoke mode, where repeats == 1.
+    _timed_run(image, workload.library(SIZE), "jit")
     for _ in range(repeats):
-        for engine in ("reference", "fast"):
+        for engine in ENGINES:
             elapsed, fingerprint, machine = _timed_run(
                 image, workload.library(SIZE), engine)
             seconds[engine] = min(seconds[engine], elapsed)
             fingerprints[engine] = fingerprint
             instructions = machine.instructions
+            if engine == "jit":
+                jit_stats = machine.jit_stats()
     # Determinism invariant: same stdout/exit/wall_cycles/context
-    # switches/perf counters from both engines, every single run.
-    assert fingerprints["reference"] == fingerprints["fast"], \
-        f"{name}: fast engine diverged from the reference interpreter"
-    before_ips = instructions / seconds["reference"]
-    after_ips = instructions / seconds["fast"]
+    # switches/perf counters from every engine, every single run.
+    for engine in ENGINES[1:]:
+        assert fingerprints[engine] == fingerprints["reference"], \
+            f"{name}: {engine} engine diverged from the reference interpreter"
+    ips = {engine: instructions / seconds[engine] for engine in ENGINES}
     return {
         "workload": name,
         "size": SIZE,
         "guest_instructions": instructions,
-        "before_seconds": round(seconds["reference"], 6),
-        "after_seconds": round(seconds["fast"], 6),
-        "before_ips": round(before_ips),
-        "after_ips": round(after_ips),
-        "speedup": round(after_ips / before_ips, 3),
+        "reference_seconds": round(seconds["reference"], 6),
+        "fast_seconds": round(seconds["fast"], 6),
+        "jit_seconds": round(seconds["jit"], 6),
+        "reference_ips": round(ips["reference"]),
+        "fast_ips": round(ips["fast"]),
+        "jit_ips": round(ips["jit"]),
+        "fast_vs_reference": round(ips["fast"] / ips["reference"], 3),
+        "jit_vs_reference": round(ips["jit"] / ips["reference"], 3),
+        "jit_vs_fast": round(ips["jit"] / ips["fast"], 3),
+        "jit_traces": jit_stats.get("jit.traces", 0),
+        "jit_deopts": jit_stats.get("jit.deopts", 0),
     }
 
 
@@ -88,37 +108,50 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
                         help="CI mode: two workloads, one repeat, "
-                             "relaxed speedup floor")
+                             "relaxed speedup floors")
     parser.add_argument("--repeats", type=int, default=None,
                         help="timing repeats per engine (best-of)")
     parser.add_argument("--min-speedup", type=float, default=None,
-                        help="fail if the geomean speedup is below this "
-                             "(default: 1.2 in --smoke, report-only "
-                             "otherwise)")
+                        help="fail if the fast-vs-reference geomean is "
+                             "below this (default: 1.2 in --smoke, "
+                             "report-only otherwise)")
+    parser.add_argument("--min-jit-speedup", type=float, default=None,
+                        help="fail if the jit-vs-fast geomean is below "
+                             "this (default: 1.15 in --smoke, "
+                             "report-only otherwise)")
     args = parser.parse_args(argv)
 
     names = SMOKE_WORKLOADS if args.smoke else FULL_WORKLOADS
     repeats = args.repeats or (1 if args.smoke else 3)
     min_speedup = args.min_speedup
-    if min_speedup is None and args.smoke:
-        min_speedup = 1.2      # generous floor for noisy CI runners
+    min_jit_speedup = args.min_jit_speedup
+    if args.smoke:
+        if min_speedup is None:
+            min_speedup = 1.2      # generous floors for noisy CI runners
+        if min_jit_speedup is None:
+            min_jit_speedup = 1.15
 
     rows = [bench_one(name, repeats) for name in names]
-    overall = geomean([row["speedup"] for row in rows])
+    fast_geomean = geomean([row["fast_vs_reference"] for row in rows])
+    jit_geomean = geomean([row["jit_vs_reference"] for row in rows])
+    jit_vs_fast = geomean([row["jit_vs_fast"] for row in rows])
 
     record = {
         "benchmark": "emulator_throughput",
         "unit": "host-side guest instructions per second",
         "engines": {
-            "before": "reference (seed per-step interpreter loop)",
-            "after": "fast (ExecPlan cache + superblock dispatch)",
+            "reference": "seed per-step interpreter loop",
+            "fast": "ExecPlan cache + superblock dispatch",
+            "jit": "tier-3 trace JIT (specialized Python code objects)",
         },
         "seed": SEED,
         "opt_level": OPT_LEVEL,
         "repeats": repeats,
         "smoke": bool(args.smoke),
         "results": rows,
-        "geomean_speedup": round(overall, 3),
+        "geomean_fast_vs_reference": round(fast_geomean, 3),
+        "geomean_jit_vs_reference": round(jit_geomean, 3),
+        "geomean_jit_vs_fast": round(jit_vs_fast, 3),
     }
     with open(BENCH_JSON, "w") as handle:
         json.dump(record, handle, indent=2)
@@ -127,19 +160,28 @@ def main(argv=None) -> int:
 
     write_result(
         "bench_emulator_throughput",
-        "Emulator throughput: reference vs fast engine "
+        "Emulator throughput: reference vs fast vs jit engine "
         "(host instructions/sec)",
-        ("workload", "guest instrs", "before ips", "after ips", "speedup"),
-        [(r["workload"], r["guest_instructions"], r["before_ips"],
-          r["after_ips"], f'{r["speedup"]:.2f}x') for r in rows],
-        notes=f"geomean speedup: {overall:.2f}x (engines verified "
-              f"bit-identical per run; seed {SEED}, size {SIZE})")
+        ("workload", "guest instrs", "ref ips", "fast ips", "jit ips",
+         "jit/fast"),
+        [(r["workload"], r["guest_instructions"], r["reference_ips"],
+          r["fast_ips"], r["jit_ips"], f'{r["jit_vs_fast"]:.2f}x')
+         for r in rows],
+        notes=f"geomeans: fast {fast_geomean:.2f}x, jit {jit_geomean:.2f}x "
+              f"over reference ({jit_vs_fast:.2f}x over fast); all three "
+              f"engines verified bit-identical per run; seed {SEED}, "
+              f"size {SIZE}")
 
-    if min_speedup is not None and overall < min_speedup:
-        print(f"FAIL: geomean speedup {overall:.2f}x < floor "
+    status = 0
+    if min_speedup is not None and fast_geomean < min_speedup:
+        print(f"FAIL: fast geomean {fast_geomean:.2f}x < floor "
               f"{min_speedup:.2f}x", file=sys.stderr)
-        return 1
-    return 0
+        status = 1
+    if min_jit_speedup is not None and jit_vs_fast < min_jit_speedup:
+        print(f"FAIL: jit-vs-fast geomean {jit_vs_fast:.2f}x < floor "
+              f"{min_jit_speedup:.2f}x", file=sys.stderr)
+        status = 1
+    return status
 
 
 if __name__ == "__main__":

@@ -1,0 +1,94 @@
+"""Tier-3 JIT smoke check: three engines, one bit-identical execution.
+
+For two Phoenix workloads at O3, runs the same image + inputs + seed
+under all three engines (``reference``, ``fast``, ``jit``) and asserts
+the determinism contract end to end:
+
+* stdout, exit code, ``total_cycles``, the full ``wall_cycles`` float,
+  per-thread instruction counts and the perf-counter snapshot are
+  identical across engines;
+* the jit engine actually compiled traces (``jit.compiled`` > 0) and
+  spent real work inside them (``jit.instructions`` > 0) — a run that
+  silently fell back to tier-2 would pass equivalence but prove
+  nothing;
+* ``invalidate_decode_cache()`` drops every installed trace.
+
+Runs under pytest (marker ``jit_smoke``) and as a script::
+
+    PYTHONPATH=src python benchmarks/smoke_jit.py
+"""
+
+import sys
+
+import pytest
+
+from repro.emulator import Machine
+from repro.workloads import get as get_workload
+
+pytestmark = pytest.mark.jit_smoke
+
+SMOKE_WORKLOADS = ("histogram", "string_match")
+ENGINES = ("reference", "fast", "jit")
+OPT_LEVEL = 3
+SIZE = "small"
+SEED = 13
+
+
+def _fingerprint(machine):
+    return (bytes(machine.stdout), machine.exit_code,
+            machine.total_cycles, machine.wall_cycles,
+            machine.instructions, machine.context_switches,
+            tuple(t.instructions for t in machine.threads),
+            machine.perf_counters().snapshot())
+
+
+def run_smoke(names=SMOKE_WORKLOADS) -> dict:
+    """Run each workload under all engines; returns the jit tallies."""
+    tally = {}
+    for name in names:
+        workload = get_workload(name)
+        image = workload.compile(opt_level=OPT_LEVEL)
+        fingerprints = {}
+        jit_machine = None
+        for engine in ENGINES:
+            machine = Machine(image, workload.library(SIZE), seed=SEED,
+                              engine=engine)
+            machine.run()
+            assert machine.fault is None, \
+                f"{name}/{engine}: faulted {machine.fault}"
+            fingerprints[engine] = _fingerprint(machine)
+            if engine == "jit":
+                jit_machine = machine
+        for engine in ENGINES[1:]:
+            assert fingerprints[engine] == fingerprints["reference"], \
+                f"{name}: {engine} diverged from the reference interpreter"
+
+        stats = jit_machine.jit_stats()
+        assert stats["jit.compiled"] > 0, \
+            f"{name}: the jit engine compiled no traces: {stats}"
+        assert stats["jit.instructions"] > 0, \
+            f"{name}: no instructions retired inside traces: {stats}"
+        jit_machine.invalidate_decode_cache()
+        assert jit_machine.jit_stats()["jit.traces"] == 0, \
+            f"{name}: invalidation left traces installed"
+        tally[name] = stats
+    return tally
+
+
+def test_jit_smoke():
+    tally = run_smoke()
+    assert set(tally) == set(SMOKE_WORKLOADS)
+
+
+def main() -> int:
+    tally = run_smoke()
+    for name in sorted(tally):
+        stats = tally[name]
+        print(f"{name:20s} " + "  ".join(
+            f"{key.split('.', 1)[1]}={stats[key]}" for key in sorted(stats)))
+    print("jit smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

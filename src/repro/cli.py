@@ -66,8 +66,13 @@ def cmd_compile(args) -> int:
 def cmd_run(args) -> int:
     """``polynima run``: execute a VXE image on the emulator."""
     image = Image.load(args.binary)
+    jit_profile = None
+    if getattr(args, "jit_profile_in", None):
+        from .profile import Profile
+        jit_profile = Profile.load(args.jit_profile_in)
     result = run_image(image, library=_library_from_args(args),
-                       seed=args.seed, engine=args.engine)
+                       seed=args.seed, engine=args.engine,
+                       jit_profile=jit_profile)
     sys.stdout.write(result.stdout.decode("latin1"))
     if result.fault is not None:
         print(f"[fault] {result.fault}", file=sys.stderr)
@@ -372,10 +377,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="execute a VXE binary")
     p.add_argument("binary")
     common_run_args(p)
-    p.add_argument("--engine", choices=("fast", "reference"),
+    p.add_argument("--engine", choices=("fast", "reference", "jit"),
                    default="fast",
-                   help="interpreter loop: plan-cache/superblock engine "
-                        "or the seed reference loop (bit-identical)")
+                   help="interpreter loop: plan-cache/superblock engine, "
+                        "the seed reference loop, or the tier-3 trace "
+                        "JIT (all bit-identical)")
+    p.add_argument("--jit-profile-in",
+                   help="profile JSON whose hot blocks pre-seed the "
+                        "tier-3 trace compiler (jit engine only)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("disasm", help="static control-flow recovery")
@@ -451,10 +460,10 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--runs", type=int, default=1,
                     help="executions to merge (run i uses seed+i; "
                          "default 1)")
-    pc.add_argument("--engine", choices=("fast", "reference"),
+    pc.add_argument("--engine", choices=("fast", "reference", "jit"),
                     default="fast",
                     help="emulator engine to profile under (profiles "
-                         "from both engines are digest-identical)")
+                         "from all engines are digest-identical)")
     common_run_args(pc)
     pc.set_defaults(func=cmd_profile_collect)
 

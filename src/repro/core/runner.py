@@ -58,18 +58,22 @@ def run_image(image: Image, input_blob: bytes = b"",
               library: Optional[ExternalLibrary] = None,
               catch_faults: bool = True,
               profile_registers: bool = False,
-              sanitizer=None, engine: str = "fast") -> RunResult:
+              sanitizer=None, engine: str = "fast",
+              jit_profile=None) -> RunResult:
     """Run a VXE image under the stock environment and collect results.
 
-    ``engine`` selects the interpreter loop ("fast" or "reference");
-    both are bit-identical per seed, see docs/PERFORMANCE.md.
+    ``engine`` selects the interpreter loop ("reference", "fast" or
+    "jit"); all three are bit-identical per seed, see
+    docs/PERFORMANCE.md.  ``jit_profile`` optionally seeds the tier-3
+    hotness counters from a collected :class:`repro.profile.Profile`.
     """
     if library is None:
         library = make_library(input_blob, params, fs, net_script,
                                omp_threads)
     machine = Machine(image, library, seed=seed, cores=cores,
                       profile_registers=profile_registers,
-                      sanitizer=sanitizer, engine=engine)
+                      sanitizer=sanitizer, engine=engine,
+                      jit_profile=jit_profile)
     fault: Optional[EmulationFault] = None
     exit_code = -1
     try:

@@ -47,6 +47,24 @@ def classify(mnemonic: str) -> str:
     return INSTR_CLASS[mnemonic]
 
 
+def static_cost(instr) -> int:
+    """The full static cycle cost of one decoded instruction.
+
+    Base cost + bus-lock penalty for atomic RMWs + memory traffic per
+    explicit memory operand.  This is the one definition shared by the
+    plan cache (``Machine._plan_at``), the reference interpreter and
+    the tier-3 trace JIT's folded cost constants — all three must
+    charge identical cycles or the engines diverge.
+    """
+    from ..isa.instructions import Mem
+    cost = BASE_COSTS[instr.mnemonic]
+    if instr.is_atomic:
+        cost += LOCK_COST
+    cost += MEMORY_ACCESS_COST * sum(
+        1 for op in instr.operands if isinstance(op, Mem))
+    return cost
+
+
 def _validate() -> None:
     """Totality: costs and classes exist for every spec mnemonic, carry
     no strays, and use only declared class names."""

@@ -25,7 +25,8 @@ from ..isa.registers import Reg
 from ..isa.spec import SPEC
 from ..observability import Counters
 from .costs import (BASE_COSTS, EXTERNAL_CALL_COST, INSTR_CLASS,
-                    INSTR_CLASS_NAMES, LOCK_COST, MEMORY_ACCESS_COST)
+                    INSTR_CLASS_NAMES, LOCK_COST, MEMORY_ACCESS_COST,
+                    static_cost)
 from .cpu import CpuState, ProfiledCpuState, U64
 from .memory import Memory, MemoryFault
 
@@ -91,13 +92,16 @@ class Machine:
 
     #: Valid values for the ``engine`` constructor argument: "fast" is
     #: the two-tier plan-cache + superblock engine (repro.emulator.engine),
+    #: "jit" the three-tier engine that additionally trace-compiles hot
+    #: superblocks to Python code objects (repro.emulator.jit),
     #: "reference" the seed per-step loop kept as the determinism oracle.
-    ENGINES = ("fast", "reference")
+    ENGINES = ("fast", "reference", "jit")
 
     def __init__(self, image: Image, library=None, seed: int = 0,
                  cores: int = 4, quantum: int = 40,
                  profile_registers: bool = False,
-                 sanitizer=None, engine: str = "fast") -> None:
+                 sanitizer=None, engine: str = "fast",
+                 jit_threshold: int = 16, jit_profile=None) -> None:
         if engine not in self.ENGINES:
             raise ValueError(f"unknown engine {engine!r} "
                              f"(expected one of {self.ENGINES})")
@@ -151,6 +155,13 @@ class Machine:
         # the exact hot loop with zero extra per-step work.
         self.sanitizer = sanitizer
         self._access_plans: Dict[int, object] = {}
+        # Tier-3 trace JIT (repro.emulator.jit), created lazily on the
+        # first "jit"-engine run.  The threshold is the superblock-entry
+        # count that triggers trace compilation; a Profile seeds blocks
+        # it already knows are hot to one arrival below it.
+        self.jit_threshold = jit_threshold
+        self.jit_profile = jit_profile
+        self._jit = None
 
         for section in image.sections:
             self.memory.map(section.addr, bytes(section.data), section.name)
@@ -247,6 +258,9 @@ class Machine:
         if self.engine == "fast":
             from .engine import run_fast
             return run_fast(self, max_cycles)
+        if self.engine == "jit":
+            from .jit import run_jit
+            return run_jit(self, max_cycles)
         return self._run_reference(max_cycles)
 
     def _run_reference(self, max_cycles: int) -> int:
@@ -331,7 +345,12 @@ class Machine:
                     f"deadlock: threads {blocked} all blocked", 0, -1)
                 raise self.fault
             return None
-        return runnable[self.rng.randrange(len(runnable))]
+        picked = runnable[self.rng.randrange(len(runnable))]
+        # Swap the memory fast path's one-entry segment cache to the
+        # picked thread's last hit (pure optimisation, no observable
+        # effect — see Memory.select_thread).
+        self.memory.select_thread(picked.tid)
+        return picked
 
     # -- single-instruction execution -----------------------------------------
 
@@ -352,30 +371,46 @@ class Machine:
     def invalidate_decode_cache(self) -> None:
         """Drop cached decodes after code bytes change (additive lifting).
 
-        Execution plans and superblock state derive from decodes, so
-        they are dropped together with them."""
+        Execution plans, superblock state and compiled tier-3 traces
+        (including the image-attached shared trace cache and the
+        hotness counters that would re-trigger compilation) derive
+        from decodes, so they are dropped together with them."""
         self._decode_cache.clear()
         self._plans.clear()
         self._access_plans.clear()
+        if self._jit is not None:
+            self._jit.invalidate()
+        shared = getattr(self.image, "_jit_shared_traces", None)
+        if shared is not None:
+            # Another machine on the same image may have published
+            # traces there; the code bytes they specialized are gone.
+            shared.clear()
+
+    def jit_stats(self) -> Dict[str, int]:
+        """The tier-3 JIT's own ``jit.*`` counters (traces compiled,
+        trace entries, instructions retired inside traces, deopts).
+
+        Deliberately *not* part of :meth:`perf_counters`: engine
+        snapshots are asserted bit-identical across reference/fast/jit,
+        and only the jit engine has traces."""
+        if self._jit is None:
+            return {}
+        return self._jit.stats()
 
     def _plan_at(self, pc: int) -> Tuple:
         """Build (and cache) the execution plan for ``pc``.
 
         Everything the seed ``_step`` recomputed per retire — handler
-        lookup, static cost (base + lock penalty + memory traffic),
-        perf-counter class, atomic-RMW flag — is evaluated once here,
-        at decode time (see repro.emulator.engine)."""
+        lookup, static cost (``costs.static_cost``: base + lock penalty
+        + memory traffic), perf-counter class, atomic-RMW flag — is
+        evaluated once here, at decode time (see
+        repro.emulator.engine)."""
         from .engine import specialize
         instr, size = self._decode_at(pc)
         mnemonic = instr.mnemonic
-        cost = BASE_COSTS[mnemonic]
-        atomic = instr.is_atomic
-        if atomic:
-            cost += LOCK_COST
-        cost += MEMORY_ACCESS_COST * sum(
-            1 for op in instr.operands if isinstance(op, Mem))
         handler = specialize(instr, _DISPATCH[mnemonic])
-        plan = (handler, instr, size, cost, INSTR_CLASS[mnemonic], atomic)
+        plan = (handler, instr, size, static_cost(instr),
+                INSTR_CLASS[mnemonic], instr.is_atomic)
         self._plans[pc] = plan
         return plan
 

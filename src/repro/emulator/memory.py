@@ -10,7 +10,13 @@ evaluation relies on.
 from __future__ import annotations
 
 import struct
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
+
+#: Packers for the dominant access widths.  ``unpack_from``/``pack_into``
+#: work directly against a segment's backing bytearray, skipping the
+#: intermediate ``bytes`` copy the generic path pays per access.
+U32 = struct.Struct("<I")
+U64 = struct.Struct("<Q")
 
 
 class MemoryFault(Exception):
@@ -39,6 +45,12 @@ class Memory:
     def __init__(self) -> None:
         self._segments: List[_Segment] = []
         self._last: Optional[_Segment] = None
+        # Per-thread last-hit segments: threads interleave at quantum
+        # granularity, and each tends to hammer its own stack/heap
+        # region, so a context switch restores that thread's locality
+        # instead of starting every quantum with a cache miss.
+        self._thread_last: Dict[int, Optional[_Segment]] = {}
+        self._cur_tid: Optional[int] = None
 
     # -- mapping -------------------------------------------------------------
 
@@ -55,6 +67,7 @@ class Memory:
         self._segments.append(new)
         self._segments.sort(key=lambda seg: seg.start)
         self._last = None
+        self._thread_last.clear()
 
     def unmap(self, addr: int) -> None:
         """Remove the segment starting exactly at ``addr``."""
@@ -62,8 +75,23 @@ class Memory:
             if seg.start == addr:
                 del self._segments[i]
                 self._last = None
+                self._thread_last.clear()
                 return
         raise MemoryFault(addr, 0, "unmap")
+
+    def select_thread(self, tid: int) -> None:
+        """Switch the one-entry segment cache to ``tid``'s last hit.
+
+        Called by the scheduler at every pick; a no-op when the same
+        thread keeps running.  Purely an optimisation — resolution and
+        fault behaviour are identical whichever segment is cached.
+        """
+        cur = self._cur_tid
+        if tid != cur:
+            if cur is not None:
+                self._thread_last[cur] = self._last
+            self._last = self._thread_last.get(tid)
+            self._cur_tid = tid
 
     def is_mapped(self, addr: int, size: int = 1) -> bool:
         """True if [addr, addr+size) lies inside one mapped segment."""
@@ -111,12 +139,51 @@ class Memory:
         seg.data[off:off + len(data)] = data
 
     def read_int(self, addr: int, width: int, signed: bool = False) -> int:
-        """Read a little-endian integer of ``width`` bytes."""
+        """Read a little-endian integer of ``width`` bytes.
+
+        4- and 8-byte loads that hit the cached segment unpack straight
+        from its backing bytearray (no intermediate bytes copy); every
+        other case — cache miss, odd width, segment-boundary overrun —
+        falls through to :meth:`read`, which resolves and faults with
+        the exact historical ``MemoryFault(addr, width, "read")``.
+        """
+        seg = self._last
+        if seg is not None and seg.start <= addr:
+            off = addr - seg.start
+            if width == 8:
+                if addr + 8 <= seg.end:
+                    val = U64.unpack_from(seg.data, off)[0]
+                    if signed and val >= 0x8000000000000000:
+                        return val - 0x10000000000000000
+                    return val
+            elif width == 4:
+                if addr + 4 <= seg.end:
+                    val = U32.unpack_from(seg.data, off)[0]
+                    if signed and val >= 0x80000000:
+                        return val - 0x100000000
+                    return val
         raw = self.read(addr, width)
         return int.from_bytes(raw, "little", signed=signed)
 
     def write_int(self, addr: int, value: int, width: int) -> None:
-        """Write a little-endian integer of ``width`` bytes."""
+        """Write a little-endian integer of ``width`` bytes.
+
+        Mirrors :meth:`read_int`: 4/8-byte stores into the cached
+        segment pack in place, everything else goes through
+        :meth:`write` for identical fault behaviour.
+        """
+        seg = self._last
+        if seg is not None and seg.start <= addr:
+            if width == 8:
+                if addr + 8 <= seg.end:
+                    U64.pack_into(seg.data, addr - seg.start,
+                                  value & 0xFFFFFFFFFFFFFFFF)
+                    return
+            elif width == 4:
+                if addr + 4 <= seg.end:
+                    U32.pack_into(seg.data, addr - seg.start,
+                                  value & 0xFFFFFFFF)
+                    return
         value &= (1 << (width * 8)) - 1
         self.write(addr, value.to_bytes(width, "little"))
 

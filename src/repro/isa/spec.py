@@ -57,20 +57,28 @@ OPERAND_KINDS = ("R", "V", "I", "M")
 CondExpr = Union[str, tuple]
 
 
-def _cond_source(expr: CondExpr) -> str:
-    """Compile a condition expression to Python source over ``c``."""
+def cond_source(expr: CondExpr, fmt: str = "c.{}") -> str:
+    """Render a condition expression to Python source.
+
+    ``fmt`` formats each flag reference — ``"c.{}"`` (the default)
+    yields predicates over a CPU-like object, ``"{}"`` yields
+    predicates over bare local variables (what the tier-3 trace JIT
+    splices into generated code).  Both renderings come from the same
+    declarative expression, so every consumer — machine dispatch,
+    engine specializer, lifter, JIT — agrees by construction.
+    """
     if isinstance(expr, str):
         if expr not in FLAG_NAMES:
             raise ValueError(f"unknown flag {expr!r}")
-        return f"c.{expr}"
+        return fmt.format(expr)
     op = expr[0]
     if op == "not":
-        return f"(not {_cond_source(expr[1])})"
+        return f"(not {cond_source(expr[1], fmt)})"
     if op in ("and", "or"):
-        return f"({_cond_source(expr[1])} {op} {_cond_source(expr[2])})"
+        return f"({cond_source(expr[1], fmt)} {op} {cond_source(expr[2], fmt)})"
     if op in ("eq", "ne"):
         cmp = "==" if op == "eq" else "!="
-        return f"({_cond_source(expr[1])} {cmp} {_cond_source(expr[2])})"
+        return f"({cond_source(expr[1], fmt)} {cmp} {cond_source(expr[2], fmt)})"
     raise ValueError(f"bad condition expression {expr!r}")
 
 
@@ -81,8 +89,48 @@ def compile_cond(expr: CondExpr) -> Callable:
     Compiled through source + ``eval`` so the emulator hot loop pays
     for one flat lambda, not an AST interpreter, per evaluation.
     """
-    return eval(f"lambda c: {_cond_source(expr)}",  # noqa: S307 - static source
+    return eval(f"lambda c: {cond_source(expr)}",  # noqa: S307 - static source
                 {"__builtins__": {}})
+
+
+def flags_update_source(kind: str, a: str, b: str, res: str,
+                        bits: int) -> Tuple[str, ...]:
+    """Source statements updating the flag locals ``zf/sf/cf/of``.
+
+    The canonical flag semantics (``Machine._flags_add`` /
+    ``_flags_sub`` / ``_flags_logic``) rendered as straight-line
+    Python over expression strings: ``a``/``b`` are the (already
+    width-masked) inputs, ``res`` the masked result.  ``kind`` is one
+    of ``add``, ``sub``, ``logic``, ``inc``, ``dec`` (the latter two
+    leave CF untouched, as INC/DEC do on x86).  Used by the tier-3
+    trace JIT so generated code and the interpreter share one
+    definition of every flag bit.
+    """
+    sign = 1 << (bits - 1)
+    mask = (1 << bits) - 1
+    lines = []
+    if kind == "add":
+        lines.append(f"cf = {a} + {b} > {mask}")
+        lines.append(f"of = ({a} >= {sign}) == ({b} >= {sign}) "
+                     f"and ({res} >= {sign}) != ({a} >= {sign})")
+    elif kind == "sub":
+        lines.append(f"cf = {a} < {b}")
+        lines.append(f"of = ({a} >= {sign}) != ({b} >= {sign}) "
+                     f"and ({res} >= {sign}) != ({a} >= {sign})")
+    elif kind == "logic":
+        lines.append("cf = False")
+        lines.append("of = False")
+    elif kind == "inc":
+        # add with b == 1, CF preserved: OF = (sa == 0) and (sr == 1).
+        lines.append(f"of = {a} < {sign} and {res} >= {sign}")
+    elif kind == "dec":
+        # sub with b == 1, CF preserved: OF = (sa == 1) and (sr == 0).
+        lines.append(f"of = {a} >= {sign} and {res} < {sign}")
+    else:
+        raise ValueError(f"unknown flag-update kind {kind!r}")
+    lines.append(f"zf = {res} == 0")
+    lines.append(f"sf = {res} >= {sign}")
+    return tuple(lines)
 
 
 def cond_flags(expr: CondExpr) -> FrozenSet[str]:
@@ -149,6 +197,12 @@ class InstrSpec:
     #: group shared by the engine specializer and the locked-RMW
     #: translation (None elsewhere).
     alu_op: Optional[str] = None
+    #: Tier-3 trace-JIT semantics tag: names the straight-line source
+    #: emitter (``emulator/jit.py`` builds its emitter registry by
+    #: looking these tags up — no mnemonic table exists outside this
+    #: module).  None for control transfer, terminators (the trace
+    #: builder handles those structurally) and rdtls (not traced).
+    sem: Optional[str] = None
 
     # -- derived classification ------------------------------------------
 
@@ -205,49 +259,50 @@ def _jcc(name: str, cond_expr: CondExpr, cmp_pred: Optional[str],
 # MNEMONICS by opcode byte); append only, never reorder.
 
 # data movement
-_spec("mov", "RR RI RM MR MI", mem_roles=("w", "r"), perf_class="mov")
-_spec("movsx", "RR RM", mem_roles=("w", "r"), perf_class="mov")
-_spec("lea", "RM", widths=_W8, perf_class="mov")
+_spec("mov", "RR RI RM MR MI", mem_roles=("w", "r"), perf_class="mov",
+      sem="mov")
+_spec("movsx", "RR RM", mem_roles=("w", "r"), perf_class="mov", sem="movsx")
+_spec("lea", "RM", widths=_W8, perf_class="mov", sem="lea")
 _spec("push", "R I M", widths=_W8, mem_roles=("r",), mem_width=8,
-      implicit_stack="w", cost=2, perf_class="mov")
+      implicit_stack="w", cost=2, perf_class="mov", sem="push")
 _spec("pop", "R M", widths=_W8, mem_roles=("w",), mem_width=8,
-      implicit_stack="r", cost=2, perf_class="mov")
+      implicit_stack="r", cost=2, perf_class="mov", sem="pop")
 _spec("xchg", "RR RM MR", mem_roles=("rw", "rw"), lockable=True,
-      implicit_lock_mem=True, cost=2, perf_class="atomic")
+      implicit_lock_mem=True, cost=2, perf_class="atomic", sem="xchg")
 
 # integer arithmetic / logic
 _spec("add", "RR RI RM MR MI", flags_written=_ALL_FLAGS,
-      mem_roles=("rw", "r"), lockable=True, alu_op="add")
+      mem_roles=("rw", "r"), lockable=True, alu_op="add", sem="alu")
 _spec("sub", "RR RI RM MR MI", flags_written=_ALL_FLAGS,
-      mem_roles=("rw", "r"), lockable=True, alu_op="sub")
+      mem_roles=("rw", "r"), lockable=True, alu_op="sub", sem="alu")
 _spec("and", "RR RI RM MR MI", flags_written=_ALL_FLAGS,
-      mem_roles=("rw", "r"), lockable=True, alu_op="and")
+      mem_roles=("rw", "r"), lockable=True, alu_op="and", sem="alu")
 _spec("or", "RR RI RM MR MI", flags_written=_ALL_FLAGS,
-      mem_roles=("rw", "r"), lockable=True, alu_op="or")
+      mem_roles=("rw", "r"), lockable=True, alu_op="or", sem="alu")
 _spec("xor", "RR RI RM MR MI", flags_written=_ALL_FLAGS,
-      mem_roles=("rw", "r"), lockable=True, alu_op="xor")
+      mem_roles=("rw", "r"), lockable=True, alu_op="xor", sem="alu")
 _spec("shl", "RR RI RM MR MI", flags_written=_ALL_FLAGS,
-      mem_roles=("rw", "r"))
+      mem_roles=("rw", "r"), sem="shl")
 _spec("shr", "RR RI RM MR MI", flags_written=_ALL_FLAGS,
-      mem_roles=("rw", "r"))
+      mem_roles=("rw", "r"), sem="shr")
 _spec("sar", "RR RI RM MR MI", flags_written=_ALL_FLAGS,
-      mem_roles=("rw", "r"))
+      mem_roles=("rw", "r"), sem="sar")
 _spec("imul", "RR RI RM MR MI", flags_written=_ALL_FLAGS,
-      mem_roles=("rw", "r"), cost=3)
+      mem_roles=("rw", "r"), cost=3, sem="imul")
 _spec("idiv", "RR RI RM MR MI", flags_written=_ALL_FLAGS,
-      mem_roles=("rw", "r"), cost=22)
+      mem_roles=("rw", "r"), cost=22, sem="idiv")
 _spec("irem", "RR RI RM MR MI", flags_written=_ALL_FLAGS,
-      mem_roles=("rw", "r"), cost=22)
-_spec("neg", "R M", flags_written=_ALL_FLAGS, mem_roles=("rw",))
-_spec("not", "R M", mem_roles=("rw",))
+      mem_roles=("rw", "r"), cost=22, sem="irem")
+_spec("neg", "R M", flags_written=_ALL_FLAGS, mem_roles=("rw",), sem="neg")
+_spec("not", "R M", mem_roles=("rw",), sem="not")
 _spec("inc", "R M", flags_written=frozenset(("zf", "sf", "of")),
-      mem_roles=("rw",), lockable=True)
+      mem_roles=("rw",), lockable=True, sem="inc")
 _spec("dec", "R M", flags_written=frozenset(("zf", "sf", "of")),
-      mem_roles=("rw",), lockable=True)
+      mem_roles=("rw",), lockable=True, sem="dec")
 _spec("cmp", "RR RI RM MR MI", flags_written=_ALL_FLAGS,
-      mem_roles=("r", "r"))
+      mem_roles=("r", "r"), sem="cmp")
 _spec("test", "RR RI RM MR MI", flags_written=_ALL_FLAGS,
-      mem_roles=("r", "r"))
+      mem_roles=("r", "r"), sem="test")
 
 # control transfer
 _spec("jmp", "I R M", widths=_W8, branch_kind="jmp", mem_roles=("r",),
@@ -272,31 +327,32 @@ _spec("ret", "", widths=_W8, terminator_kind="ret", implicit_stack="r",
 # atomics (combined with the lock prefix) and fences
 _spec("cmpxchg", "MR MI RR RI", flags_written=_ALL_FLAGS,
       mem_roles=("rw", "r"), lockable=True, hw_rmw=True, cost=4,
-      perf_class="atomic")
+      perf_class="atomic", sem="cmpxchg")
 _spec("xadd", "MR RR", flags_written=_ALL_FLAGS, mem_roles=("rw", "r"),
-      lockable=True, hw_rmw=True, cost=2, perf_class="atomic")
-_spec("mfence", "", widths=_W8, fence=True, cost=12, perf_class="fence")
+      lockable=True, hw_rmw=True, cost=2, perf_class="atomic", sem="xadd")
+_spec("mfence", "", widths=_W8, fence=True, cost=12, perf_class="fence",
+      sem="mfence")
 
 # 128-bit SIMD
 _spec("movdq", "VV VM MV", widths=_W16, mem_roles=("w", "r"),
-      mem_width=16, simd=True, perf_class="simd")
+      mem_width=16, simd=True, perf_class="simd", sem="movdq")
 _spec("paddd", "VV VM", widths=_W16, mem_roles=("rw", "r"),
-      mem_width=16, simd=True, perf_class="simd")
+      mem_width=16, simd=True, perf_class="simd", sem="vec_add")
 _spec("psubd", "VV VM", widths=_W16, mem_roles=("rw", "r"),
-      mem_width=16, simd=True, perf_class="simd")
+      mem_width=16, simd=True, perf_class="simd", sem="vec_sub")
 _spec("pmulld", "VV VM", widths=_W16, mem_roles=("rw", "r"),
-      mem_width=16, simd=True, cost=2, perf_class="simd")
+      mem_width=16, simd=True, cost=2, perf_class="simd", sem="vec_mul")
 _spec("pxor", "VV VM", widths=_W16, mem_roles=("rw", "r"),
-      mem_width=16, simd=True, perf_class="simd")
+      mem_width=16, simd=True, perf_class="simd", sem="vec_xor")
 _spec("pextrd", "RVI", widths=_W16, mem_roles=("w", "r", "r"),
-      mem_width=8, simd=True, cost=2, perf_class="simd")
+      mem_width=8, simd=True, cost=2, perf_class="simd", sem="pextrd")
 _spec("pinsrd", "VRI", widths=_W16, mem_roles=("rw", "r", "r"),
-      mem_width=4, simd=True, cost=2, perf_class="simd")
+      mem_width=4, simd=True, cost=2, perf_class="simd", sem="pinsrd")
 _spec("pbroadcastd", "VR VM", widths=_W16, mem_roles=("w", "r"),
-      mem_width=4, simd=True, perf_class="simd")
+      mem_width=4, simd=True, perf_class="simd", sem="pbroadcastd")
 
 # misc
-_spec("nop", "", widths=_W8, perf_class="misc")
+_spec("nop", "", widths=_W8, perf_class="misc", sem="nop")
 _spec("hlt", "", widths=_W8, terminator_kind="hlt", perf_class="misc")
 _spec("ud2", "", widths=_W8, terminator_kind="ud2", perf_class="misc")
 _spec("rdtls", "R", widths=_W8, liftable=False, perf_class="misc")
@@ -345,6 +401,12 @@ def _validate() -> None:
         assert not spec.flags_read - _ALL_FLAGS, f"{ctx}: bad flags_read"
         assert not spec.flags_written - _ALL_FLAGS, \
             f"{ctx}: bad flags_written"
+        # Every liftable straight-line mnemonic must carry a JIT
+        # semantics tag; control transfer and rdtls must not.
+        straight = (spec.branch_kind is None
+                    and spec.terminator_kind is None and spec.liftable)
+        assert (spec.sem is not None) == straight, \
+            f"{ctx}: sem tag coverage mismatch"
 
 
 _validate()

@@ -1,11 +1,12 @@
-"""Engine equivalence: the fast engine is bit-identical to the seed loop.
+"""Engine equivalence: every engine is bit-identical to the seed loop.
 
-The two-tier engine (repro.emulator.engine) must consume the RNG in
-exactly the seed sequence and preempt at the same instruction
-boundaries, so every seeded interleaving — including the racy ones the
-sanitizer depends on — reproduces bit for bit.  These tests pin that
-invariant across Phoenix workloads, seeds, faults, and the opt-in
-layers (sanitizer, additive-lifting cache invalidation).
+The two-tier engine (repro.emulator.engine) and the tier-3 trace JIT
+(repro.emulator.jit) must consume the RNG in exactly the seed sequence
+and preempt at the same instruction boundaries, so every seeded
+interleaving — including the racy ones the sanitizer depends on —
+reproduces bit for bit.  These tests pin that invariant across Phoenix
+workloads, seeds, faults, and the opt-in layers (sanitizer, profiling,
+additive-lifting cache invalidation).
 """
 
 import pytest
@@ -17,6 +18,7 @@ from repro.workloads import get as get_workload
 
 WORKLOADS = ("histogram", "string_match", "linear_regression")
 SEEDS = (3, 11, 29)
+ENGINES = ("reference", "fast", "jit")
 
 
 def _fingerprint(result):
@@ -28,49 +30,76 @@ def _fingerprint(result):
 
 @pytest.mark.parametrize("seed", SEEDS)
 @pytest.mark.parametrize("name", WORKLOADS)
-def test_fast_engine_bit_identical(name, seed):
+def test_engines_bit_identical(name, seed):
     workload = get_workload(name)
     image = workload.compile(opt_level=3)
-    reference = run_image(image, library=workload.library("small"),
-                          seed=seed, engine="reference")
-    fast = run_image(image, library=workload.library("small"),
-                     seed=seed, engine="fast")
-    assert reference.fault is None and fast.fault is None
-    assert _fingerprint(reference) == _fingerprint(fast)
+    runs = {}
+    for engine in ENGINES:
+        result = run_image(image, library=workload.library("small"),
+                           seed=seed, engine=engine)
+        assert result.fault is None
+        runs[engine] = result
+    reference = runs["reference"]
+    for engine in ENGINES[1:]:
+        assert _fingerprint(runs[engine]) == _fingerprint(reference), \
+            f"{engine} diverged from reference"
     # context switches and the per-class cycle split ride in counters,
     # but assert the headline ones explicitly for a readable failure.
-    assert reference.counters["emu.context_switches"] == \
-        fast.counters["emu.context_switches"]
-    assert reference.wall_cycles == fast.wall_cycles
+    for engine in ENGINES[1:]:
+        assert runs[engine].counters["emu.context_switches"] == \
+            reference.counters["emu.context_switches"]
+        assert runs[engine].wall_cycles == reference.wall_cycles
 
 
 @pytest.mark.parametrize("seed", (3, 11))
 @pytest.mark.parametrize("name", ("histogram", "string_match"))
-def test_fast_engine_bit_identical_with_sanitizer(name, seed):
-    """Sanitized machines take the hook-preserving path of the fast
-    engine; interleavings and race reports must not move."""
+def test_engines_bit_identical_with_sanitizer(name, seed):
+    """Sanitized machines take the hook-preserving path (the jit engine
+    single-steps rather than enter traces); interleavings and race
+    reports must not move."""
     workload = get_workload(name)
     image = workload.compile(opt_level=3)
     runs = {}
-    for engine in ("reference", "fast"):
+    for engine in ENGINES:
         detector = RaceDetector()
         result = run_image(image, library=workload.library("small"),
                            seed=seed, engine=engine, sanitizer=detector)
         assert result.fault is None
         runs[engine] = (_fingerprint(result), len(result.races),
                         detector.races_observed)
-    assert runs["reference"] == runs["fast"]
+    for engine in ENGINES[1:]:
+        assert runs[engine] == runs["reference"], \
+            f"{engine} diverged from reference under the sanitizer"
 
 
-def test_fast_engine_same_fault_on_cycle_budget(monkeypatch):
-    """Both engines exhaust an artificially tiny cycle budget at the
-    same emulated instant."""
+@pytest.mark.parametrize("name", ("histogram", "string_match"))
+def test_engines_bit_identical_with_profiling(name):
+    """Register-profiled machines deopt wholesale (the jit delegates to
+    the fast engine); counters including reg_reads/reg_writes must
+    match the reference loop."""
+    workload = get_workload(name)
+    image = workload.compile(opt_level=3)
+    runs = {}
+    for engine in ENGINES:
+        result = run_image(image, library=workload.library("small"),
+                           seed=7, engine=engine, profile_registers=True)
+        assert result.fault is None
+        runs[engine] = _fingerprint(result)
+    for engine in ENGINES[1:]:
+        assert runs[engine] == runs["reference"], \
+            f"{engine} diverged from reference under register profiling"
+
+
+def test_engines_same_fault_on_cycle_budget():
+    """All engines exhaust an artificially tiny cycle budget at the
+    same emulated instant — the jit's cycle guard must deopt rather
+    than overrun."""
     from repro.emulator import CycleLimitExceeded
 
     workload = get_workload("histogram")
     image = workload.compile(opt_level=3)
     states = {}
-    for engine in ("reference", "fast"):
+    for engine in ENGINES:
         machine = Machine(image, workload.library("small"), seed=5,
                           engine=engine)
         with pytest.raises(CycleLimitExceeded):
@@ -78,7 +107,27 @@ def test_fast_engine_same_fault_on_cycle_budget(monkeypatch):
         states[engine] = (machine.total_cycles, machine.instructions,
                           machine.wall_cycles,
                           machine.perf_counters().snapshot())
-    assert states["reference"] == states["fast"]
+    for engine in ENGINES[1:]:
+        assert states[engine] == states["reference"], \
+            f"{engine} hit the cycle budget at a different instant"
+
+
+def test_jit_profile_seeding_bit_identical():
+    """Seeding tier-3 hotness from a collected profile changes *when*
+    traces compile, never *what* the machine computes."""
+    from repro.profile import ProfileCollector
+
+    workload = get_workload("histogram")
+    image = workload.compile(opt_level=3)
+    profile = ProfileCollector(image).collect(
+        lambda _item: workload.library("small"), inputs=[None], seed=9)
+
+    reference = run_image(image, library=workload.library("small"),
+                          seed=9, engine="reference")
+    seeded = run_image(image, library=workload.library("small"),
+                       seed=9, engine="jit", jit_profile=profile)
+    assert reference.fault is None and seeded.fault is None
+    assert _fingerprint(seeded) == _fingerprint(reference)
 
 
 def test_plan_cache_dropped_with_decode_cache():
@@ -93,6 +142,23 @@ def test_plan_cache_dropped_with_decode_cache():
     assert not machine._plans
     assert not machine._decode_cache
     assert not machine._access_plans
+
+
+def test_traces_dropped_with_decode_cache():
+    """invalidate_decode_cache() on a jit machine must also drop the
+    compiled traces, the hotness counters and the image-attached
+    shared trace cache."""
+    workload = get_workload("histogram")
+    image = workload.compile(opt_level=3)
+    machine = Machine(image, workload.library("small"), seed=1,
+                      engine="jit")
+    machine.run()
+    stats = machine.jit_stats()
+    assert stats["jit.traces"] > 0, "jit run should have compiled traces"
+    machine.invalidate_decode_cache()
+    assert machine.jit_stats()["jit.traces"] == 0
+    assert not machine._jit.heat
+    assert not getattr(image, "_jit_shared_traces")
 
 
 def test_unsanitized_machine_keeps_class_step():

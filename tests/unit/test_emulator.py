@@ -106,6 +106,76 @@ class TestMemory:
             mem.read_cstr(0x2000)                # wholly unmapped
 
 
+class TestMemoryFastPath:
+    """The 4/8-byte packed-struct fast path and the per-thread one-entry
+    segment cache must be pure optimisations: identical values, masking
+    and fault behaviour whichever segment happens to be cached."""
+
+    def test_fast_path_hits_cached_segment(self):
+        mem = Memory()
+        mem.map(0x1000, 64, "a")
+        mem.write_int(0x1008, 0x1122334455667788, 8)
+        assert mem.read_int(0x1008, 8) == 0x1122334455667788
+        mem.write_int(0x1010, 0xDEADBEEF, 4)
+        assert mem.read_int(0x1010, 4) == 0xDEADBEEF
+        assert mem.read_int(0x1010, 4, signed=True) == 0xDEADBEEF - (1 << 32)
+
+    def test_fast_path_store_masks_wide_values(self):
+        mem = Memory()
+        mem.map(0, 32)
+        mem.write_int(0, -1, 8)
+        assert mem.read_int(0, 8) == (1 << 64) - 1
+        mem.write_int(8, 0x1_FFFF_FFFF, 4)       # truncates to 32 bits
+        assert mem.read_int(8, 4) == 0xFFFFFFFF
+        assert mem.read_int(8, 8) == 0xFFFFFFFF  # no spill past width
+
+    def test_fast_path_boundary_overrun_faults(self):
+        mem = Memory()
+        mem.map(0x1000, 16)
+        mem.read_int(0x1000, 8)                  # warm the cache
+        for addr, width in ((0x100C, 8), (0x100E, 4)):
+            with pytest.raises(MemoryFault) as excinfo:
+                mem.read_int(addr, width)
+            assert (excinfo.value.addr, excinfo.value.size) == (addr, width)
+            with pytest.raises(MemoryFault):
+                mem.write_int(addr, 1, width)
+
+    def test_fast_path_miss_falls_back_to_resolution(self):
+        mem = Memory()
+        mem.map(0x1000, 16, "a")
+        mem.map(0x4000, 16, "b")
+        mem.write_int(0x4000, 7, 8)              # cache now holds "b"
+        assert mem.read_int(0x1000, 8) == 0      # below cached start: resolve
+        assert mem.read_int(0x4000, 8) == 7
+
+    def test_select_thread_keeps_per_thread_locality(self):
+        mem = Memory()
+        mem.map(0x1000, 16, "a")
+        mem.map(0x4000, 16, "b")
+        mem.select_thread(0)
+        mem.write_int(0x1000, 1, 8)              # thread 0 touches "a"
+        mem.select_thread(1)
+        mem.write_int(0x4000, 2, 8)              # thread 1 touches "b"
+        mem.select_thread(0)
+        assert mem._last is not None and mem._last.name == "a"
+        mem.select_thread(1)
+        assert mem._last.name == "b"
+        # Values are thread-independent — the cache is invisible.
+        assert mem.read_int(0x1000, 8) == 1
+        assert mem.read_int(0x4000, 8) == 2
+
+    def test_map_unmap_drop_thread_caches(self):
+        mem = Memory()
+        mem.map(0x1000, 16, "a")
+        mem.select_thread(0)
+        mem.read_int(0x1000, 8)
+        mem.select_thread(1)                     # stashes thread 0's hit
+        mem.unmap(0x1000)
+        assert not mem._thread_last
+        with pytest.raises(MemoryFault):
+            mem.read_int(0x1000, 8)
+
+
 # -- machine harness --------------------------------------------------------------
 
 def run_asm(build, params=(), seed=0, expect_fault=False):

@@ -1,0 +1,241 @@
+"""Unit tests for the tier-3 trace JIT (repro.emulator.jit).
+
+Covers the hotness threshold, the deopt surface (cycle guard,
+sanitizer, register profiling, indirect hooks), generated-source
+determinism (including across PYTHONHASHSEED), cache coherence under
+mid-run code mutation, and profile-seeded compilation.
+"""
+
+import hashlib
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core import make_library
+from repro.emulator import CycleLimitExceeded, Machine, TraceJit
+from repro.emulator.jit import build_trace
+from repro.minicc import compile_minic
+from repro.sanitizers import RaceDetector
+
+HOT_LOOP = r'''
+int main() {
+  int acc;
+  int i;
+  acc = 0;
+  for (i = 0; i < 3000; i += 1) {
+    acc += i;
+  }
+  printf("acc=%d\n", acc);
+  return 0;
+}
+'''
+
+
+def _hot_machine(**kwargs):
+    image = compile_minic(HOT_LOOP, opt_level=2)
+    kwargs.setdefault("engine", "jit")
+    kwargs.setdefault("jit_threshold", 4)
+    machine = Machine(image, make_library(), seed=0, **kwargs)
+    return machine
+
+
+class TestThreshold:
+    def test_hot_loop_crosses_threshold_and_compiles(self):
+        machine = _hot_machine()
+        machine.run()
+        assert bytes(machine.stdout) == b"acc=%d\n" % (3000 * 2999 // 2)
+        stats = machine.jit_stats()
+        assert stats["jit.compiled"] > 0
+        assert stats["jit.traces"] > 0
+        assert stats["jit.entries"] > 0
+        assert stats["jit.instructions"] > 0
+
+    def test_cold_threshold_never_compiles(self):
+        machine = _hot_machine(jit_threshold=10**6)
+        machine.run()
+        stats = machine.jit_stats()
+        assert stats["jit.compiled"] == 0
+        assert stats["jit.entries"] == 0
+
+    def test_jit_stats_empty_without_jit_engine(self):
+        machine = _hot_machine(engine="fast")
+        machine.run()
+        assert machine.jit_stats() == {}
+
+
+class TestDeopt:
+    def test_cycle_guard_deopts_near_budget(self):
+        """A trace whose full cost would overrun max_cycles must not be
+        entered; the tail is interpreted and the limit hit exactly."""
+        machine = _hot_machine(jit_threshold=2)
+        with pytest.raises(CycleLimitExceeded):
+            machine.run(max_cycles=5_000)
+        assert machine.jit_stats()["jit.deopts"] >= 1
+        # The reference interpreter stops at the identical instant.
+        reference = Machine(compile_minic(HOT_LOOP, opt_level=2),
+                            make_library(), seed=0, engine="reference")
+        with pytest.raises(CycleLimitExceeded):
+            reference.run(max_cycles=5_000)
+        assert (machine.total_cycles, machine.instructions,
+                machine.wall_cycles) == \
+            (reference.total_cycles, reference.instructions,
+             reference.wall_cycles)
+
+    def test_sanitizer_forces_single_stepping(self):
+        machine = _hot_machine(sanitizer=RaceDetector())
+        machine.run()
+        stats = machine.jit_stats()
+        assert stats["jit.entries"] == 0
+        assert stats["jit.compiled"] == 0
+
+    def test_register_profiling_delegates_to_fast(self):
+        machine = _hot_machine(profile_registers=True)
+        machine.run()
+        stats = machine.jit_stats()
+        assert stats["jit.entries"] == 0
+        assert stats["jit.compiled"] == 0
+
+    def test_indirect_hooks_route_through_tier2(self):
+        machine = _hot_machine()
+        machine.indirect_hooks.append(lambda *args: None)
+        machine.run()
+        stats = machine.jit_stats()
+        assert stats["jit.entries"] == 0
+        assert stats["jit.compiled"] == 0
+
+
+class TestSourceDeterminism:
+    def test_rebuild_reproduces_identical_source(self):
+        machine = _hot_machine()
+        machine.run()
+        traces = {head: trace for head, trace
+                  in machine.image._jit_shared_traces.items()
+                  if trace is not None}
+        assert traces
+        for head, trace in traces.items():
+            rebuilt = build_trace(machine, head)
+            assert rebuilt is not None
+            assert rebuilt.source == trace.source
+
+    def test_source_stable_across_hash_randomisation(self):
+        """Trace source must not depend on dict/set iteration order —
+        a PYTHONHASHSEED flip changing generated code would make runs
+        unreproducible across processes."""
+        program = (
+            "import hashlib\n"
+            "from repro.core import make_library\n"
+            "from repro.emulator import Machine\n"
+            "from repro.minicc import compile_minic\n"
+            f"image = compile_minic({HOT_LOOP!r}, opt_level=2)\n"
+            "machine = Machine(image, make_library(), seed=0,\n"
+            "                  engine='jit', jit_threshold=4)\n"
+            "machine.run()\n"
+            "blob = ''.join(\n"
+            "    f'{head:#x}\\n{trace.source}'\n"
+            "    for head, trace in sorted(image._jit_shared_traces.items())\n"
+            "    if trace is not None)\n"
+            "assert blob\n"
+            "print(hashlib.sha256(blob.encode()).hexdigest())\n"
+        )
+        digests = set()
+        for seed in ("0", "1", "1234"):
+            env = dict(os.environ, PYTHONHASHSEED=seed,
+                       PYTHONPATH=os.pathsep.join(sys.path))
+            out = subprocess.run(
+                [sys.executable, "-c", program], env=env,
+                capture_output=True, text=True, check=True)
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1, digests
+
+
+MUTATING_TEMPLATE = r'''
+int main() {
+  int total;
+  int round;
+  total = 0;
+  for (round = 0; round < 2; round += 1) {
+    int acc;
+    int i;
+    acc = 0;
+    for (i = 0; i < 400; i += 1) {
+      acc += ADDEND;
+    }
+    total += acc;
+    patch(round);
+  }
+  printf("total=%d\n", total);
+  return 0;
+}
+'''
+
+
+class TestCacheCoherence:
+    def _mutating_run(self, engine):
+        """Run the ADDEND=2 program whose ``patch(0)`` call rewrites the
+        loop body to ADDEND=5 in place, then invalidates."""
+        image = compile_minic(MUTATING_TEMPLATE.replace("ADDEND", "2"),
+                              opt_level=2)
+        patched = compile_minic(MUTATING_TEMPLATE.replace("ADDEND", "5"),
+                                opt_level=2)
+        old = image.section(".text")
+        new = patched.section(".text")
+        assert len(old.data) == len(new.data), \
+            "variants must be layout-identical for an in-place patch"
+        assert bytes(old.data) != bytes(new.data)
+
+        def patch(machine, thread, args):
+            if args[0] == 0:
+                machine.image.section(".text").data[:] = new.data
+                machine.invalidate_decode_cache()
+            return 0
+
+        library = make_library()
+        library.register("patch", patch)
+        machine = Machine(image, library, seed=0, engine=engine,
+                          jit_threshold=2)
+        machine.run()
+        return machine
+
+    def test_mid_run_mutation_respecializes(self):
+        """Round 0 runs the compiled ADDEND=2 trace; the patch must drop
+        it so round 1 retraces the new bytes (400*2 + 400*5)."""
+        machine = self._mutating_run("jit")
+        assert bytes(machine.stdout) == b"total=2800\n"
+        stats = machine.jit_stats()
+        assert stats["jit.entries"] > 0, "loop never ran as a trace"
+
+    def test_mutation_bit_identical_across_engines(self):
+        fingerprints = {}
+        for engine in ("reference", "fast", "jit"):
+            machine = self._mutating_run(engine)
+            fingerprints[engine] = (
+                bytes(machine.stdout), machine.exit_code,
+                machine.total_cycles, machine.wall_cycles,
+                machine.perf_counters().snapshot())
+        assert fingerprints["fast"] == fingerprints["reference"]
+        assert fingerprints["jit"] == fingerprints["reference"]
+
+    def test_invalidate_resets_hotness(self):
+        machine = _hot_machine()
+        machine.run()
+        jit = machine._jit
+        assert jit.heat and jit.traces
+        machine.invalidate_decode_cache()
+        assert not jit.heat
+        assert not jit.traces
+
+
+class TestProfileSeeding:
+    def test_hot_blocks_preseed_one_below_threshold(self):
+        from repro.profile import ProfileCollector
+        image = compile_minic(HOT_LOOP, opt_level=2)
+        profile = ProfileCollector(image).collect(
+            lambda _item: make_library(), inputs=[None], seed=5)
+        hot = profile.hot_blocks()
+        assert hot, "the hot loop must show up in the profile"
+        machine = Machine(image, make_library(), seed=0, engine="jit",
+                          jit_threshold=8, jit_profile=profile)
+        jit = TraceJit(machine)
+        assert jit.heat == {addr: 7 for addr in hot}
