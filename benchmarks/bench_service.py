@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Service latency: submit-to-artifact round trips through the daemon.
+
+Three traffic shapes against a live :class:`BackgroundServer`:
+
+- **cold** — first submission of each Phoenix workload: the full
+  pipeline runs, so latency is dominated by recompilation;
+- **warm** — the identical resubmission: served from the artifact
+  cache, so latency is protocol + cache read (the amortisation the
+  service exists for);
+- **storm** — N identical *concurrent* submissions of one workload
+  against a fresh (uncached) server: in-flight coalescing must
+  collapse them to a single pipeline execution, so total wall time
+  tracks one run, not N.
+
+Writes ``BENCH_service.json`` at the repo root.  Runs as a script::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.service import BackgroundServer, ServiceClient
+
+from common import write_result
+
+FULL_WORKLOADS = ("histogram", "kmeans", "linear_regression",
+                  "matrix_multiply", "pca", "string_match", "word_count")
+SMOKE_WORKLOADS = ("histogram", "string_match")
+OPT_LEVEL = 0
+SEED = 21
+STORM_N = 8
+
+BENCH_JSON = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          os.pardir, "BENCH_service.json")
+
+
+def _submit_and_wait(client: ServiceClient, name: str):
+    """One round trip; returns (seconds, sha256, cached)."""
+    start = time.perf_counter()
+    _image, result = client.submit_and_wait(
+        workload=name, opt_level=OPT_LEVEL, seed=SEED, timeout=600)
+    elapsed = time.perf_counter() - start
+    assert result.state == "done", f"{name}: {result.error}"
+    return elapsed, result.image_sha256, result.cached
+
+
+def bench_cold_warm(names, workers: int):
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="polynima-bench-svc-") as tmp:
+        with BackgroundServer(workers=workers, cache_dir=tmp) as server:
+            client = ServiceClient(server.host, server.port)
+            for name in names:
+                cold_s, cold_sha, cold_hit = _submit_and_wait(client, name)
+                assert not cold_hit, f"{name}: cold submission hit cache"
+                warm_s, warm_sha, warm_hit = _submit_and_wait(client, name)
+                assert warm_hit, f"{name}: warm submission missed cache"
+                assert warm_sha == cold_sha, f"{name}: artifact changed"
+                rows.append({
+                    "workload": name,
+                    "cold_seconds": round(cold_s, 4),
+                    "warm_seconds": round(warm_s, 4),
+                    "amortisation": round(cold_s / max(warm_s, 1e-9), 1),
+                    "sha256": cold_sha[:12],
+                })
+            counters = client.metrics()
+    assert counters["cache.hits"] == len(names)
+    assert counters["cache.misses"] == len(names)
+    return rows, counters
+
+
+def bench_storm(name: str, workers: int, storm_n: int):
+    """N-way identical concurrent submissions, uncached server."""
+    with BackgroundServer(workers=workers) as server:
+        client = ServiceClient(server.host, server.port)
+        # One solo run first, so the storm comparison excludes any
+        # first-touch costs (imports, workload compile memoisation).
+        solo_s, solo_sha, _ = _submit_and_wait(client, name)
+
+        start = time.perf_counter()
+        with ThreadPoolExecutor(storm_n) as pool:
+            outcomes = list(pool.map(
+                lambda _i: _submit_and_wait(client, name), range(storm_n)))
+        storm_s = time.perf_counter() - start
+
+        assert all(sha == solo_sha for _s, sha, _c in outcomes), \
+            "storm artifacts diverged"
+        counters = client.metrics()
+    # 1 solo + 1 storm execution (the other storm_n - 1 coalesced;
+    # the storm job itself cannot coalesce with the finished solo run).
+    executions = counters["service.completed"]
+    coalesced = counters.get("service.coalesced", 0)
+    assert executions == 2, f"storm ran the pipeline {executions - 1} times"
+    assert coalesced == storm_n - 1
+    return {
+        "workload": name,
+        "storm_n": storm_n,
+        "solo_seconds": round(solo_s, 4),
+        "storm_wall_seconds": round(storm_s, 4),
+        "storm_vs_solo": round(storm_s / max(solo_s, 1e-9), 2),
+        "pipeline_executions": executions - 1,
+        "coalesced": coalesced,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: two workloads, small storm")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--storm", type=int, default=None,
+                        help=f"storm width (default {STORM_N}, 3 in "
+                             f"--smoke)")
+    args = parser.parse_args(argv)
+
+    names = SMOKE_WORKLOADS if args.smoke else FULL_WORKLOADS
+    storm_n = args.storm or (3 if args.smoke else STORM_N)
+
+    rows, counters = bench_cold_warm(names, args.workers)
+    storm = bench_storm(names[0], args.workers, storm_n)
+
+    record = {
+        "benchmark": "service_latency",
+        "unit": "submit-to-artifact seconds through the daemon",
+        "opt_level": OPT_LEVEL,
+        "seed": SEED,
+        "workers": args.workers,
+        "smoke": bool(args.smoke),
+        "cold_warm": rows,
+        "storm": storm,
+        "counters": {k: v for k, v in sorted(counters.items())},
+    }
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {os.path.normpath(BENCH_JSON)}")
+
+    write_result(
+        "bench_service",
+        "Recompilation service: cold vs warm submit latency and "
+        "coalesced storms",
+        ("workload", "cold s", "warm s", "amortisation"),
+        [(r["workload"], r["cold_seconds"], r["warm_seconds"],
+          f'{r["amortisation"]}x') for r in rows],
+        notes=f"storm: {storm['storm_n']} identical concurrent "
+              f"submissions of {storm['workload']} coalesced to "
+              f"{storm['pipeline_executions']} pipeline execution(s) "
+              f"({storm['coalesced']} coalesced), wall "
+              f"{storm['storm_wall_seconds']}s vs solo "
+              f"{storm['solo_seconds']}s; warm latency is protocol + "
+              f"artifact-cache read")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Service smoke check: the daemon end to end, cold -> warm -> storm.
+
+Brings up a real :class:`BackgroundServer` against a fresh artifact
+cache and asserts the service contract:
+
+* a cold round of Phoenix submissions completes with zero cache hits;
+* the identical warm round hits the cache 100% and returns
+  bit-identical artifacts;
+* a 3-way identical concurrent submission storm (with the worker pool
+  paused so the race is deterministic) coalesces to **one** pipeline
+  execution — ``service.coalesced`` counts the other two.
+
+Runs under pytest (marker ``service_smoke``) and as a script::
+
+    PYTHONPATH=src python benchmarks/smoke_service.py [--full]
+
+The script form (used by CI) covers 3 workloads; ``--full`` and the
+pytest test cover the whole 7-kernel Phoenix suite.
+"""
+
+import sys
+import tempfile
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.service import BackgroundServer, ServiceClient, SubmitResponse
+
+pytestmark = pytest.mark.service_smoke
+
+SMOKE_WORKLOADS = ["histogram", "kmeans", "string_match"]
+FULL_WORKLOADS = ["histogram", "kmeans", "linear_regression",
+                  "matrix_multiply", "pca", "string_match", "word_count"]
+OPT_LEVEL = 0
+STORM_N = 3
+
+
+def _round(client: ServiceClient, workloads) -> dict:
+    """Submit every workload, wait for all, return name -> sha256."""
+    shas = {}
+    for name in workloads:
+        image, result = client.submit_and_wait(
+            workload=name, opt_level=OPT_LEVEL, timeout=600)
+        assert result.state == "done", f"{name}: {result.error}"
+        shas[name] = (result.image_sha256, result.cached)
+    return shas
+
+
+def run_smoke(cache_dir: str, workloads=None) -> dict:
+    names = workloads or SMOKE_WORKLOADS
+
+    with BackgroundServer(workers=2, cache_dir=cache_dir) as server:
+        client = ServiceClient(server.host, server.port)
+
+        cold = _round(client, names)
+        assert not any(cached for _sha, cached in cold.values()), \
+            "cold round hit the cache?"
+        warm = _round(client, names)
+        assert all(cached for _sha, cached in warm.values()), \
+            "warm round missed the cache"
+        assert {n: s for n, (s, _c) in warm.items()} == \
+            {n: s for n, (s, _c) in cold.items()}, \
+            "warm artifacts differ from the cold run"
+        metrics = client.metrics()
+        assert metrics["cache.misses"] == len(names)
+        assert metrics["cache.hits"] == len(names)
+
+    # Coalescing storm on a paused server: all STORM_N identical
+    # submissions must land before any pipeline work starts.
+    with BackgroundServer(workers=2, cache_dir=None,
+                          start_paused=True) as server:
+        client = ServiceClient(server.host, server.port)
+        with ThreadPoolExecutor(STORM_N) as pool:
+            responses = list(pool.map(
+                lambda _i: client.submit(workload=names[0],
+                                         opt_level=OPT_LEVEL),
+                range(STORM_N)))
+        assert all(isinstance(r, SubmitResponse) for r in responses)
+        job_ids = {r.job_id for r in responses}
+        assert len(job_ids) == 1, f"storm did not coalesce: {job_ids}"
+        server.resume()
+        result = client.result(job_ids.pop(), wait=True, timeout=600)
+        assert result.state == "done"
+        metrics = client.metrics()
+        assert metrics["service.coalesced"] == STORM_N - 1
+        assert metrics["service.completed"] == 1, \
+            "coalesced storm executed the pipeline more than once"
+
+    return {"workloads": len(names), "storm": STORM_N,
+            "sha256": {n: s[:12] for n, (s, _c) in warm.items()}}
+
+
+def test_smoke_service(tmp_path):
+    """Full Phoenix suite through the daemon, plus the storm."""
+    summary = run_smoke(str(tmp_path / "cache"), workloads=FULL_WORKLOADS)
+    assert summary["workloads"] == len(FULL_WORKLOADS)
+
+
+def main(argv) -> int:
+    workloads = FULL_WORKLOADS if "--full" in argv else SMOKE_WORKLOADS
+    with tempfile.TemporaryDirectory(
+            prefix="polynima-service-smoke-") as tmp:
+        summary = run_smoke(tmp, workloads=workloads)
+    print(f"service smoke OK: {summary['workloads']} workloads cold->warm "
+          f"(100% warm hits), {summary['storm']}-way storm coalesced to "
+          f"1 execution")
+    for name, sha in summary["sha256"].items():
+        print(f"  {name:<18} {sha}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -331,13 +331,14 @@ def execute_job(job: RecompileJob, index: int = 0,
                 cache: Optional[ArtifactCache] = None,
                 verify: bool = False) -> JobResult:
     """Run one job under its own tracer and return its result.  All
-    exceptions are captured into ``JobResult.error`` — a batch never
+    exceptions — including validation failures — are captured into
+    ``JobResult.error``; a batch (or the service's worker pool) never
     dies because one job did."""
-    job.validate()
     tracer = Tracer()
     result = JobResult(index=index, name=job.name)
     started = time.perf_counter()
     try:
+        job.validate()
         with tracer.span("batch.job", job=job.name) as span:
             image_bytes, stats, digest, cached, verified = \
                 _execute_pipeline(job, cache, verify, tracer)
@@ -433,14 +434,20 @@ def _worker(payload: Tuple[int, Dict[str, Any], Optional[Dict[str, Any]],
                            bool]) -> Dict[str, Any]:
     """Process-pool entry point.  Takes plain picklable data, opens its
     own cache handle (atomic writes make concurrent workers safe), and
-    returns the JobResult as a dict."""
+    returns the JobResult as a dict.  Even an unconstructable job
+    yields a structured error result — nothing escapes to the pool."""
     index, job_dict, cache_conf, verify = payload
-    job = RecompileJob.from_dict(job_dict)
-    cache = None
-    if cache_conf is not None:
-        cache = ArtifactCache(cache_conf["root"],
-                              version=cache_conf["version"])
-    result = execute_job(job, index=index, cache=cache, verify=verify)
+    try:
+        job = RecompileJob.from_dict(job_dict)
+        cache = None
+        if cache_conf is not None:
+            cache = ArtifactCache(cache_conf["root"],
+                                  version=cache_conf["version"])
+        result = execute_job(job, index=index, cache=cache, verify=verify)
+    except Exception as exc:        # noqa: BLE001 - reported, not fatal
+        name = str(job_dict.get("workload") or job_dict.get("binary") or "?")
+        result = JobResult(index=index, name=name, error="".join(
+            traceback.format_exception_only(type(exc), exc)).strip())
     data = result.as_dict()
     data["trace"] = result.trace
     return data
@@ -549,19 +556,27 @@ def run_batch(jobs: Sequence[RecompileJob], jobs_n: int = 1,
     work is pure CPU-bound Python, so separate processes (not threads)
     are what buys wall-clock.  Any pool-level failure — fork refused,
     a worker killed, pickling trouble — falls back to in-process
-    execution of the whole batch; per-job exceptions are already
-    captured inside the worker and never break the pool.
+    execution of the whole batch; per-job exceptions (validation
+    failures included) are captured into that job's ``error`` field
+    and never abort the rest of the batch.
     """
-    for job in jobs:
-        job.validate()
+    # Per-job failure isolation: an invalid job becomes a structured
+    # error result instead of sinking the whole manifest.
+    invalid: Dict[int, JobResult] = {}
+    payloads = []
     cache_conf = None
     if cache is not None:
         cache_conf = {"root": cache.root, "version": cache.version}
-    payloads = [(i, job.as_dict(), cache_conf, verify)
-                for i, job in enumerate(jobs)]
+    for i, job in enumerate(jobs):
+        try:
+            job.validate()
+        except BatchError as exc:
+            invalid[i] = JobResult(index=i, name=job.name, error=str(exc))
+        else:
+            payloads.append((i, job.as_dict(), cache_conf, verify))
     started = time.perf_counter()
 
-    want_pool = jobs_n > 1 and len(jobs) > 1 \
+    want_pool = jobs_n > 1 and len(payloads) > 1 \
         and not os.environ.get(_INPROCESS_ENV)
     results: Optional[List[JobResult]] = None
     executor = "inline"
@@ -570,17 +585,19 @@ def run_batch(jobs: Sequence[RecompileJob], jobs_n: int = 1,
         try:
             results = _run_pool(payloads, jobs_n)
             executor = "process"
-            workers = min(jobs_n, len(jobs))
+            workers = min(jobs_n, len(payloads))
         except Exception:       # noqa: BLE001 - pool infra failed, go inline
             results = None
     if results is None:
         results = [_result_from_worker(_worker(payload))
                    for payload in payloads]
-    results.sort(key=lambda r: r.index)
     if cache is not None:
-        # Aggregate worker-side cache activity into the parent registry.
+        # Aggregate worker-side cache activity into the parent registry
+        # (invalid jobs never touched the cache and are not counted).
         for r in results:
             cache.counters.inc("cache.hits" if r.cached else "cache.misses")
+    results.extend(invalid.values())
+    results.sort(key=lambda r: r.index)
     return BatchResult(results=results,
                        wall_seconds=time.perf_counter() - started,
                        executor=executor, workers=workers)

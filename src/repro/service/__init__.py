@@ -1,0 +1,39 @@
+"""Recompilation-as-a-service: a long-running daemon over the pipeline.
+
+Every other entry point (``polynima recompile``, ``polynima batch``)
+is a one-shot process that pays interpreter startup, cache-open and
+pool-spawn costs per invocation.  This package keeps the pipeline
+resident behind a TCP JSON-lines protocol:
+
+* :mod:`repro.service.protocol` — versioned request/response
+  dataclasses with canonical-JSON encode/decode (no pickling);
+* :mod:`repro.service.server` — the asyncio daemon: bounded priority
+  queue with explicit backpressure, in-flight request coalescing keyed
+  by the artifact-cache digest, a process/thread worker pool over
+  :func:`repro.core.batch.execute_job`, bounded retry with jittered
+  backoff, and graceful SIGTERM drain;
+* :mod:`repro.service.client` — the blocking client behind
+  ``polynima submit`` and the benches.
+
+Operational guide (lifecycle, backpressure/retry semantics, metrics
+table): ``docs/SERVICE.md``.
+"""
+
+from .client import ServiceClient, ServiceError
+from .protocol import (PROTOCOL_VERSION, ErrorResponse, HealthzRequest,
+                       HealthzResponse, MetricsRequest, MetricsResponse,
+                       ProtocolError, ResultRequest, ResultResponse,
+                       StatusRequest, StatusResponse, SubmitRequest,
+                       SubmitResponse, decode_request, decode_response)
+from .server import BackgroundServer, JobRecord, RecompileService
+
+__all__ = [
+    "PROTOCOL_VERSION", "ProtocolError",
+    "SubmitRequest", "StatusRequest", "ResultRequest", "HealthzRequest",
+    "MetricsRequest",
+    "ErrorResponse", "SubmitResponse", "StatusResponse", "ResultResponse",
+    "HealthzResponse", "MetricsResponse",
+    "decode_request", "decode_response",
+    "BackgroundServer", "JobRecord", "RecompileService",
+    "ServiceClient", "ServiceError",
+]

@@ -1,0 +1,179 @@
+"""Synchronous client for the recompilation service.
+
+A thin blocking wrapper over the JSON-lines protocol — one TCP
+connection per request, so the client has no state to corrupt and is
+trivially safe to share across threads (the load generator in
+``benchmarks/bench_service.py`` does exactly that).  The CLI
+``polynima submit`` and the smoke/integration tests all go through
+this class.
+
+Backpressure is surfaced, not hidden: a full server answers ``busy``
+with a ``retry_after`` hint, and :meth:`ServiceClient.submit` returns
+that :class:`~repro.service.protocol.ErrorResponse` as-is.
+:meth:`submit_retrying` implements the polite-client loop (sleep the
+hinted interval, bounded attempts) for callers that just want the job
+enqueued eventually.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Optional, Tuple, Union
+
+from .protocol import (ErrorResponse, HealthzRequest, Message,
+                       MetricsRequest, ProtocolError, ResultRequest,
+                       ResultResponse, StatusRequest, SubmitRequest,
+                       SubmitResponse, decode_response)
+
+
+class ServiceError(Exception):
+    """Transport-level failure (refused connection, closed socket,
+    undecodable response) — distinct from structured server errors,
+    which come back as :class:`ErrorResponse` values."""
+    pass
+
+
+class ServiceClient:
+    """Talk to a ``polynima serve`` daemon at ``host:port``.
+
+    ``timeout`` bounds each request round-trip; blocking ``result``
+    waits add the wait budget on top so the socket never gives up
+    before the server does.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7421,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------------
+
+    def request(self, message: Message,
+                timeout: Optional[float] = None) -> Message:
+        """Send one request, return the decoded response."""
+        budget = self.timeout if timeout is None else timeout
+        try:
+            with socket.create_connection((self.host, self.port),
+                                          timeout=budget) as sock:
+                sock.sendall(message.encode())
+                line = self._read_line(sock, budget)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port}: {exc}")
+        try:
+            return decode_response(line)
+        except ProtocolError as exc:
+            raise ServiceError(f"bad response: {exc}")
+
+    @staticmethod
+    def _read_line(sock: socket.socket, budget: float) -> bytes:
+        deadline = time.monotonic() + budget
+        chunks = []
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServiceError("response timed out")
+            sock.settimeout(remaining)
+            chunk = sock.recv(1 << 20)
+            if not chunk:
+                raise ServiceError("connection closed mid-response")
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                return b"".join(chunks).rstrip(b"\r\n")
+
+    # -- requests --------------------------------------------------------------
+
+    def submit(self, workload: Optional[str] = None,
+               binary: Optional[str] = None,
+               image_bytes: Optional[bytes] = None,
+               **options: Any) -> Union[SubmitResponse, ErrorResponse]:
+        """Enqueue one recompilation; exactly one of ``workload`` (a
+        registry name), ``binary`` (a *server-side* path) or
+        ``image_bytes`` (ships the binary inline) must be given.
+        ``options`` are the :class:`SubmitRequest` pipeline knobs."""
+        if image_bytes is not None:
+            request = SubmitRequest.with_image(image_bytes, **options)
+        else:
+            request = SubmitRequest(workload=workload, binary=binary,
+                                    **options)
+        return self.request(request)
+
+    def submit_retrying(self, max_attempts: int = 8,
+                        **submit_kwargs: Any) -> SubmitResponse:
+        """Submit, honouring ``busy`` backpressure: sleep the server's
+        ``retry_after`` hint between bounded attempts.  Raises
+        :class:`ServiceError` once attempts are exhausted or on any
+        non-busy rejection."""
+        last: Optional[ErrorResponse] = None
+        for _attempt in range(max_attempts):
+            response = self.submit(**submit_kwargs)
+            if isinstance(response, SubmitResponse):
+                return response
+            last = response
+            if response.code != "busy":
+                break
+            time.sleep(response.retry_after or 0.1)
+        raise ServiceError(f"submit rejected: "
+                           f"{last.error if last else 'no response'}")
+
+    def status(self, job_id: str) -> Message:
+        return self.request(StatusRequest(job_id=job_id))
+
+    def result(self, job_id: str, wait: bool = True,
+               timeout: Optional[float] = None,
+               include_image: bool = True) -> Message:
+        """Fetch a job's outcome; ``wait=True`` blocks until it leaves
+        the queue (server-side, bounded by ``timeout`` seconds)."""
+        request = ResultRequest(job_id=job_id, wait=wait, timeout=timeout,
+                                include_image=include_image)
+        budget = self.timeout + (timeout or self.timeout if wait else 0)
+        return self.request(request, timeout=budget)
+
+    def healthz(self) -> Message:
+        return self.request(HealthzRequest())
+
+    def metrics(self) -> Dict[str, Any]:
+        response = self.request(MetricsRequest())
+        if isinstance(response, ErrorResponse):
+            raise ServiceError(f"metrics failed: {response.error}")
+        return response.counters
+
+    # -- conveniences ----------------------------------------------------------
+
+    def submit_and_wait(self, timeout: Optional[float] = None,
+                        **submit_kwargs: Any
+                        ) -> Tuple[bytes, ResultResponse]:
+        """Submit + blocking result fetch; returns the artifact bytes
+        and the full result.  Raises :class:`ServiceError` on
+        rejection or job failure."""
+        submitted = self.submit(**submit_kwargs)
+        if isinstance(submitted, ErrorResponse):
+            raise ServiceError(f"submit rejected ({submitted.code}): "
+                               f"{submitted.error}")
+        result = self.result(submitted.job_id, wait=True, timeout=timeout)
+        if isinstance(result, ErrorResponse):
+            raise ServiceError(f"result failed ({result.code}): "
+                               f"{result.error}")
+        if result.error is not None:
+            raise ServiceError(f"job {submitted.job_id} failed: "
+                               f"{result.error}")
+        image = result.image_bytes()
+        if image is None:
+            raise ServiceError(f"job {submitted.job_id}: no image in "
+                               f"result (state {result.state})")
+        return image, result
+
+    def wait_until_up(self, budget: float = 10.0,
+                      interval: float = 0.05) -> bool:
+        """Poll ``healthz`` until the server answers (startup races in
+        scripts that fork a server and immediately submit)."""
+        deadline = time.monotonic() + budget
+        while time.monotonic() < deadline:
+            try:
+                self.healthz()
+                return True
+            except ServiceError:
+                time.sleep(interval)
+        return False

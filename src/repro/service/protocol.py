@@ -1,0 +1,307 @@
+"""Wire protocol for the recompilation service: JSON lines over TCP.
+
+One request per line, one response per line, UTF-8, no pickling
+anywhere — every message is a plain dataclass that round-trips through
+canonical JSON (sorted keys, compact separators), so encodings are
+byte-identical across processes and hash seeds and any language can
+speak the protocol.
+
+Every message carries ``v`` (the protocol version stamp) and ``kind``
+(the message type).  Decoding is strict: an unknown kind, a version
+mismatch, an unknown field or a missing required field raises
+:class:`ProtocolError`, which the server answers with a structured
+``error`` response rather than dying.
+
+Request kinds (client -> server):
+
+* ``submit``   — enqueue one recompilation (binary bytes inline, a
+  server-side path, or a registry workload name + pipeline options);
+* ``status``   — poll a job's lifecycle state;
+* ``result``   — fetch a finished job's artifact (optionally blocking
+  until the job completes);
+* ``healthz``  — liveness/readiness probe;
+* ``metrics``  — the server's counter registry as JSON.
+
+Response kinds (server -> client) mirror them, plus ``error`` — which
+doubles as the 429-style backpressure reply (``code="busy"`` with a
+``retry_after`` hint) when the job queue is full.
+
+Semantics (queueing, coalescing, retry/backoff, drain) are documented
+in ``docs/SERVICE.md``.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, Optional, Type, TypeVar
+
+#: Version stamp carried by every message.  Bump on any wire-visible
+#: change; mismatched peers get a structured error, not garbage.
+PROTOCOL_VERSION = "polynima-service-v1"
+
+#: Hard cap on one encoded message line (a submitted image travels
+#: base64-inline, so lines are large but bounded).
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """Raised for undecodable or version-mismatched messages."""
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Base plumbing
+
+
+@dataclass
+class Message:
+    """Common encode/decode machinery for requests and responses."""
+
+    KIND = ""                   # overridden per concrete message
+
+    def as_dict(self) -> Dict[str, Any]:
+        data = {k: v for k, v in asdict(self).items() if v is not None}
+        data["kind"] = self.KIND
+        data["v"] = PROTOCOL_VERSION
+        return data
+
+    def encode(self) -> bytes:
+        """One canonical-JSON line, newline-terminated."""
+        blob = json.dumps(self.as_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        return blob.encode("utf-8") + b"\n"
+
+    @classmethod
+    def _from_dict(cls, data: Dict[str, Any]) -> "Message":
+        known = {f.name for f in fields(cls)}
+        payload = {k: v for k, v in data.items() if k not in ("kind", "v")}
+        unknown = set(payload) - known
+        if unknown:
+            raise ProtocolError(
+                f"{cls.KIND}: unknown fields {sorted(unknown)}")
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise ProtocolError(f"{cls.KIND}: {exc}")
+
+
+M = TypeVar("M", bound=Message)
+
+
+def _decode(line: bytes, registry: Dict[str, Type[M]], role: str) -> M:
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"{role} line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        data = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"undecodable {role} line: {exc}")
+    if not isinstance(data, dict):
+        raise ProtocolError(f"{role} must be a JSON object")
+    version = data.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: got {version!r}, "
+            f"this peer speaks {PROTOCOL_VERSION!r}")
+    kind = data.get("kind")
+    cls = registry.get(kind)
+    if cls is None:
+        raise ProtocolError(f"unknown {role} kind {kind!r}")
+    return cls._from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# Requests
+
+
+@dataclass
+class SubmitRequest(Message):
+    """Enqueue one recompilation.
+
+    Exactly one of ``workload`` (a ``repro.workloads`` registry name,
+    full hybrid pipeline), ``binary`` (a server-side ``.vxe`` path) or
+    ``binary_b64`` (the image bytes inline, static pipeline) must be
+    set — the same contract as a batch :class:`RecompileJob`.  The
+    remaining fields are the pipeline knobs that feed the artifact
+    cache digest; ``profile`` is a server-side path to a saved
+    execution profile whose content digest joins the key.
+    """
+    KIND = "submit"
+
+    workload: Optional[str] = None
+    binary: Optional[str] = None
+    binary_b64: Optional[str] = None
+    opt_level: int = 3
+    size: Optional[str] = None
+    seed: int = 21
+    fence_opt: bool = False
+    with_callbacks: bool = True
+    profile: Optional[str] = None
+    #: Lower numbers run earlier (0 = normal traffic).
+    priority: int = 0
+
+    def image_bytes(self) -> Optional[bytes]:
+        if self.binary_b64 is None:
+            return None
+        try:
+            return base64.b64decode(self.binary_b64.encode("ascii"),
+                                    validate=True)
+        except (ValueError, UnicodeEncodeError) as exc:
+            raise ProtocolError(f"submit: bad binary_b64: {exc}")
+
+    @classmethod
+    def with_image(cls, image_bytes: bytes, **kwargs) -> "SubmitRequest":
+        return cls(binary_b64=base64.b64encode(image_bytes).decode("ascii"),
+                   **kwargs)
+
+
+@dataclass
+class StatusRequest(Message):
+    KIND = "status"
+    job_id: str = ""
+
+
+@dataclass
+class ResultRequest(Message):
+    """Fetch a job's outcome.  ``wait=True`` blocks server-side until
+    the job leaves the queue/worker (bounded by ``timeout`` seconds);
+    ``include_image=False`` returns metadata only."""
+    KIND = "result"
+    job_id: str = ""
+    wait: bool = False
+    timeout: Optional[float] = None
+    include_image: bool = True
+
+
+@dataclass
+class HealthzRequest(Message):
+    KIND = "healthz"
+
+
+@dataclass
+class MetricsRequest(Message):
+    KIND = "metrics"
+
+
+_REQUESTS: Dict[str, Type[Message]] = {
+    cls.KIND: cls for cls in (SubmitRequest, StatusRequest, ResultRequest,
+                              HealthzRequest, MetricsRequest)}
+
+
+def decode_request(line: bytes) -> Message:
+    return _decode(line, _REQUESTS, "request")
+
+
+# ---------------------------------------------------------------------------
+# Responses
+
+
+@dataclass
+class ErrorResponse(Message):
+    """Any failed request; also the backpressure reply.
+
+    ``code`` is machine-readable: ``busy`` (queue full — honour
+    ``retry_after`` seconds before resubmitting), ``draining`` (server
+    shutting down), ``bad_request``, ``unknown_job``, ``protocol``.
+    """
+    KIND = "error"
+    error: str = ""
+    code: str = "bad_request"
+    retry_after: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+
+@dataclass
+class SubmitResponse(Message):
+    KIND = "submitted"
+    job_id: str = ""
+    digest: str = ""
+    state: str = "queued"
+    #: True when this submission attached to an in-flight job with the
+    #: same artifact digest instead of enqueueing new pipeline work.
+    coalesced: bool = False
+    queue_depth: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+
+@dataclass
+class StatusResponse(Message):
+    KIND = "job_status"
+    job_id: str = ""
+    state: str = ""             # queued | running | done | failed
+    digest: str = ""
+    attempts: int = 0
+    #: Submissions coalesced into this job (including the first).
+    submissions: int = 1
+    seconds: Optional[float] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+
+@dataclass
+class ResultResponse(Message):
+    KIND = "job_result"
+    job_id: str = ""
+    state: str = ""
+    digest: str = ""
+    cached: bool = False
+    image_b64: Optional[str] = None
+    image_sha256: str = ""
+    stats: Dict[str, Any] = field(default_factory=dict)
+    seconds: float = 0.0
+    attempts: int = 0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def image_bytes(self) -> Optional[bytes]:
+        if self.image_b64 is None:
+            return None
+        return base64.b64decode(self.image_b64.encode("ascii"))
+
+
+@dataclass
+class HealthzResponse(Message):
+    KIND = "healthz_ok"
+    state: str = "serving"      # serving | draining
+    uptime_seconds: float = 0.0
+    queue_depth: int = 0
+    running: int = 0
+    workers: int = 0
+    jobs_tracked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+
+@dataclass
+class MetricsResponse(Message):
+    KIND = "metrics_snapshot"
+    counters: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+
+_RESPONSES: Dict[str, Type[Message]] = {
+    cls.KIND: cls for cls in (ErrorResponse, SubmitResponse, StatusResponse,
+                              ResultResponse, HealthzResponse,
+                              MetricsResponse)}
+
+
+def decode_response(line: bytes) -> Message:
+    return _decode(line, _RESPONSES, "response")

@@ -1,0 +1,727 @@
+"""The recompilation daemon: asyncio TCP server + job scheduler.
+
+``polynima serve`` turns the one-shot ``recompile``/``batch`` CLI into
+a long-running service, amortising interpreter startup, cache opens
+and worker-pool spawns across requests:
+
+* **bounded priority queue** — submissions are heap-ordered by
+  ``(priority, arrival)``; when the queue is full the server answers
+  with a 429-style ``busy`` error carrying a ``retry_after`` hint
+  instead of queueing unboundedly or hanging the client;
+* **in-flight coalescing** — submissions are keyed by the artifact
+  cache's :func:`~repro.core.artifact_cache.stable_digest`; while a
+  job for a digest is queued or running, identical submissions attach
+  to it (one pipeline execution, N waiters) — sound because the
+  pipeline is bit-deterministic;
+* **worker pool** — jobs execute through the existing
+  :func:`repro.core.batch.execute_job` machinery in a
+  ``ProcessPoolExecutor`` (or a thread pool where forking is
+  unavailable), with a per-job timeout, bounded retry with exponential
+  backoff + jitter, and per-job failure isolation;
+* **graceful drain** — SIGTERM/SIGINT stop intake, finish in-flight
+  jobs, flush the metrics snapshot, then exit 0.
+
+Counters are published into a thread-safe
+:class:`repro.observability.Counters` registry (``service.*`` for the
+scheduler, ``cache.*`` for artifact-cache traffic) and served by the
+``metrics`` request.  Protocol reference: ``repro.service.protocol``;
+operational guide: ``docs/SERVICE.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import concurrent.futures
+import hashlib
+import heapq
+import itertools
+import json
+import os
+import random
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.artifact_cache import ArtifactCache, stable_digest
+from ..core.batch import (RecompileJob, _worker as _batch_worker,
+                          hybrid_options, static_options)
+from ..observability import Counters
+from .protocol import (ErrorResponse, HealthzRequest, HealthzResponse,
+                       Message, MetricsRequest, MetricsResponse,
+                       ProtocolError, ResultRequest, ResultResponse,
+                       StatusRequest, StatusResponse, SubmitRequest,
+                       SubmitResponse, decode_request)
+
+#: Force the thread executor (no forked workers) — mirrors
+#: ``POLYNIMA_BATCH_INPROCESS`` for the batch driver.
+_INPROCESS_ENV = "POLYNIMA_SERVICE_INPROCESS"
+
+#: Job lifecycle states.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+
+@dataclass
+class JobRecord:
+    """Server-side bookkeeping for one coalesced unit of work."""
+    job_id: str
+    digest: str
+    job: RecompileJob
+    priority: int = 0
+    state: str = QUEUED
+    submissions: int = 1            # coalesced submit count (incl. first)
+    attempts: int = 0
+    submitted_at: float = 0.0
+    finished_at: Optional[float] = None
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    done_event: asyncio.Event = field(default_factory=asyncio.Event)
+
+    @property
+    def seconds(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+
+class RecompileService:
+    """The daemon.  Construct, then either ``await service.run()`` on
+    an event loop (the CLI path, with signal handlers) or drive it from
+    a :class:`BackgroundServer` (tests, benches, embedding)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 workers: int = 2, queue_limit: int = 32,
+                 cache: Optional[ArtifactCache] = None,
+                 job_timeout: float = 600.0, retries: int = 1,
+                 backoff_base: float = 0.05, backoff_cap: float = 2.0,
+                 executor: str = "process",
+                 counters: Optional[Counters] = None,
+                 start_paused: bool = False,
+                 metrics_out: Optional[str] = None,
+                 verbose: bool = False) -> None:
+        self.host = host
+        self.port = port
+        self.workers = max(1, workers)
+        self.queue_limit = max(1, queue_limit)
+        self.counters = counters if counters is not None else Counters()
+        self.cache = cache
+        if cache is not None:
+            # One registry: cache.* and service.* side by side.
+            cache.counters = self.counters
+        self.job_timeout = job_timeout
+        self.retries = max(0, retries)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        if os.environ.get(_INPROCESS_ENV):
+            executor = "thread"
+        self.executor_kind = executor
+        self.metrics_out = metrics_out
+        self.verbose = verbose
+
+        self._heap: List[Tuple[int, int, str]] = []   # (priority, seq, id)
+        self._seq = itertools.count()
+        self._jobs: Dict[str, JobRecord] = {}
+        self._inflight: Dict[str, str] = {}           # digest -> job_id
+        self._running = 0
+        self._draining = False
+        self._started_at = time.monotonic()
+        self._avg_job_seconds = 1.0                   # EMA, retry_after hint
+        self._rng = random.Random(0xC0A1E5CE)         # backoff jitter
+        self._start_paused = start_paused
+        self._work_available: Optional[asyncio.Condition] = None
+        self._idle: Optional[asyncio.Condition] = None
+        self._resumed: Optional[asyncio.Event] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._worker_tasks: List[asyncio.Task] = []
+        self._connections: set = set()
+        self._pool: Optional[concurrent.futures.Executor] = None
+        self._stopped = False
+        self._spool_dir: Optional[str] = None
+        self._profile_digests: Dict[str, str] = {}
+        self.counters.put("service.queue_depth", 0)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket, spawn worker tasks; returns once listening."""
+        self._work_available = asyncio.Condition()
+        self._idle = asyncio.Condition()
+        self._resumed = asyncio.Event()
+        if not self._start_paused:
+            self._resumed.set()
+        self._pool = self._make_pool()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._worker_tasks = [
+            asyncio.ensure_future(self._worker_loop())
+            for _ in range(self.workers)]
+        self._log(f"listening on {self.host}:{self.port} "
+                  f"({self.workers} workers, queue limit "
+                  f"{self.queue_limit}, {self.executor_kind} executor)")
+
+    async def run(self, on_ready=None) -> None:
+        """CLI entry: serve until SIGTERM/SIGINT, then drain and return.
+        ``on_ready(service)`` fires once the socket is bound (the CLI
+        prints its parseable ready line from it)."""
+        await self.start()
+        if on_ready is not None:
+            on_ready(self)
+        loop = asyncio.get_running_loop()
+        drained = asyncio.Event()
+
+        def _request_drain() -> None:
+            asyncio.ensure_future(self._drain_then(drained))
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, _request_drain)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await drained.wait()
+
+    async def _drain_then(self, event: asyncio.Event) -> None:
+        await self.drain()
+        event.set()
+
+    async def drain(self) -> None:
+        """Stop accepting, finish in-flight work, flush metrics, stop."""
+        if self._stopped:
+            return
+        self._draining = True
+        self._log("draining: intake closed, finishing in-flight jobs")
+        self.resume()               # a paused server must still drain
+        async with self._idle:
+            await self._idle.wait_for(
+                lambda: not self._heap and self._running == 0)
+        await self.stop()
+        self._flush_metrics()
+
+    async def stop(self) -> None:
+        """Tear down sockets, workers and the executor (no waiting for
+        queued jobs — use :meth:`drain` for a graceful exit)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._draining = True
+        for task in self._worker_tasks:
+            task.cancel()
+        if self._worker_tasks:
+            await asyncio.gather(*self._worker_tasks,
+                                 return_exceptions=True)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections,
+                                 return_exceptions=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+
+    def resume(self) -> None:
+        """Release workers paused by ``start_paused`` (test hook: lets
+        a test pile identical submissions into the queue and prove they
+        coalesce before any pipeline work starts)."""
+        if self._resumed is not None:
+            self._resumed.set()
+
+    def _flush_metrics(self) -> None:
+        snapshot = self.counters.snapshot()
+        self._log("final metrics: " + json.dumps(snapshot, sort_keys=True))
+        if self.metrics_out:
+            try:
+                with open(self.metrics_out, "w") as handle:
+                    json.dump(snapshot, handle, indent=1, sort_keys=True)
+            except OSError as exc:  # pragma: no cover - best effort
+                self._log(f"cannot write metrics to "
+                          f"{self.metrics_out!r}: {exc}")
+
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(f"[polynima-service] {message}", file=sys.stderr,
+                  flush=True)
+
+    # -- executors -------------------------------------------------------------
+
+    def _make_pool(self) -> concurrent.futures.Executor:
+        if self.executor_kind == "process":
+            try:
+                return concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.workers)
+            except (OSError, ValueError):   # pragma: no cover - no fork
+                self.executor_kind = "thread"
+        return concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.workers,
+            thread_name_prefix="polynima-service")
+
+    def _recycle_pool(self) -> None:
+        """After a job timeout the abandoned worker may still be
+        burning CPU; replace the executor so the slot is reclaimed."""
+        old, self._pool = self._pool, self._make_pool()
+        if old is not None:
+            old.shutdown(wait=False, cancel_futures=True)
+
+    # -- digesting (the coalescing key) ---------------------------------------
+
+    def _cache_version(self) -> str:
+        if self.cache is not None:
+            return self.cache.version
+        from ..core.artifact_cache import PIPELINE_VERSION
+        return PIPELINE_VERSION
+
+    def _job_digest(self, job: RecompileJob) -> str:
+        """The artifact-cache stable digest for a job — computed
+        server-side so identical submissions coalesce regardless of
+        how the bytes arrived."""
+        if job.workload:
+            from ..workloads import get as get_workload
+            try:
+                workload = get_workload(job.workload)
+            except KeyError:
+                raise ValueError(f"unknown workload {job.workload!r}")
+            image_bytes = workload.compile(job.opt_level).to_bytes()
+            profile_digest = None
+            if job.profile:
+                profile_digest = self._profile_digest(job.profile)
+            options = hybrid_options(
+                workload, job.opt_level, job.size, job.seed, job.fence_opt,
+                job.with_callbacks, None, profile_digest=profile_digest)
+        else:
+            try:
+                with open(job.binary, "rb") as handle:
+                    image_bytes = handle.read()
+            except OSError as exc:
+                raise ValueError(f"cannot read {job.binary!r}: {exc}")
+            options = static_options(job.seed)
+        return stable_digest(image_bytes, version=self._cache_version(),
+                             **options)
+
+    def _profile_digest(self, path: str) -> str:
+        digest = self._profile_digests.get(path)
+        if digest is None:
+            from ..profile import Profile
+            try:
+                digest = Profile.load(path).digest()
+            except Exception as exc:    # noqa: BLE001 - surfaced to client
+                raise ValueError(f"cannot load profile {path!r}: {exc}")
+            self._profile_digests[path] = digest
+        return digest
+
+    def _scratch_dir(self, name: str) -> str:
+        """A scratch subdirectory (spooled inputs, produced artifacts)
+        under the cache root, or the system temp dir when uncached."""
+        if self._spool_dir is None:
+            import tempfile
+            if self.cache is not None:
+                base = self.cache.root
+            else:
+                base = tempfile.mkdtemp(prefix="polynima-service-")
+            self._spool_dir = base
+        path = os.path.join(self._spool_dir, name)
+        os.makedirs(path, exist_ok=True)
+        return path
+
+    def _spool_image(self, image_bytes: bytes) -> str:
+        """Persist inline-submitted bytes where worker processes can
+        read them; content-addressed so resubmissions share the file."""
+        sha = hashlib.sha256(image_bytes).hexdigest()
+        path = os.path.join(self._scratch_dir("spool"), sha + ".vxe")
+        if not os.path.exists(path):
+            tmp = path + f".{os.getpid()}.tmp"
+            with open(tmp, "wb") as handle:
+                handle.write(image_bytes)
+            os.replace(tmp, path)
+        return path
+
+    def _artifact_path(self, digest: str) -> str:
+        """Where the worker leaves a job's recompiled bytes (digest-
+        addressed, so coalesced resubmissions share one file)."""
+        return os.path.join(self._scratch_dir("out"), digest + ".vxe")
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                response = await self._dispatch_line(line)
+                writer.write(response.encode())
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        except asyncio.CancelledError:
+            pass    # stop() cancels open connections; exit quietly
+        finally:
+            self._connections.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, RuntimeError):
+                pass    # peer vanished or loop tearing down
+
+    async def _dispatch_line(self, line: bytes) -> Message:
+        try:
+            request = decode_request(line.rstrip(b"\r\n"))
+        except ProtocolError as exc:
+            return ErrorResponse(error=str(exc), code="protocol")
+        try:
+            if isinstance(request, SubmitRequest):
+                return await self._handle_submit(request)
+            if isinstance(request, StatusRequest):
+                return self._handle_status(request)
+            if isinstance(request, ResultRequest):
+                return await self._handle_result(request)
+            if isinstance(request, HealthzRequest):
+                return self._handle_healthz()
+            if isinstance(request, MetricsRequest):
+                return MetricsResponse(counters=self.counters.snapshot())
+        except Exception as exc:    # noqa: BLE001 - connection must survive
+            return ErrorResponse(error=f"internal error: {exc}",
+                                 code="internal")
+        return ErrorResponse(error="unhandled request", code="protocol")
+
+    # -- request handlers ------------------------------------------------------
+
+    async def _handle_submit(self, request: SubmitRequest) -> Message:
+        self.counters.inc("service.submitted")
+        if self._draining:
+            self.counters.inc("service.rejected")
+            return ErrorResponse(error="server is draining", code="draining",
+                                 retry_after=None)
+
+        try:
+            job = self._job_from_request(request)
+            digest = self._job_digest(job)
+        except (ValueError, ProtocolError) as exc:
+            self.counters.inc("service.rejected")
+            return ErrorResponse(error=str(exc), code="bad_request")
+
+        # Coalesce with in-flight work for the same digest: the
+        # pipeline is bit-deterministic, so one execution serves all.
+        existing_id = self._inflight.get(digest)
+        if existing_id is not None:
+            record = self._jobs[existing_id]
+            record.submissions += 1
+            self.counters.inc("service.coalesced")
+            return SubmitResponse(job_id=record.job_id, digest=digest,
+                                  state=record.state, coalesced=True,
+                                  queue_depth=len(self._heap))
+
+        if len(self._heap) >= self.queue_limit:
+            self.counters.inc("service.rejected")
+            return ErrorResponse(
+                error=f"job queue full ({self.queue_limit} queued)",
+                code="busy", retry_after=self._retry_after_hint())
+
+        job_id = f"job-{next(self._seq):08d}"
+        job.output = self._artifact_path(digest)
+        record = JobRecord(job_id=job_id, digest=digest, job=job,
+                           priority=request.priority,
+                           submitted_at=time.monotonic())
+        self._jobs[job_id] = record
+        self._inflight[digest] = job_id
+        heapq.heappush(self._heap,
+                       (request.priority, next(self._seq), job_id))
+        self.counters.put("service.queue_depth", len(self._heap))
+        async with self._work_available:
+            self._work_available.notify()
+        return SubmitResponse(job_id=job_id, digest=digest, state=QUEUED,
+                              coalesced=False, queue_depth=len(self._heap))
+
+    def _job_from_request(self, request: SubmitRequest) -> RecompileJob:
+        sources = [s for s in (request.workload, request.binary,
+                               request.binary_b64) if s]
+        if len(sources) != 1:
+            raise ValueError("submit: exactly one of workload/binary/"
+                             "binary_b64 must be set")
+        binary = request.binary
+        if request.binary_b64 is not None:
+            binary = self._spool_image(request.image_bytes())
+        job = RecompileJob(
+            workload=request.workload, binary=binary,
+            opt_level=request.opt_level, size=request.size,
+            seed=request.seed, fence_opt=request.fence_opt,
+            with_callbacks=request.with_callbacks,
+            profile=request.profile)
+        job.validate()
+        return job
+
+    def _retry_after_hint(self) -> float:
+        # Expected time for one queue slot to free: depth * avg job
+        # time / workers, floored so clients do not hammer.
+        estimate = len(self._heap) * self._avg_job_seconds / self.workers
+        return round(max(0.1, min(estimate, 60.0)), 3)
+
+    def _handle_status(self, request: StatusRequest) -> Message:
+        record = self._jobs.get(request.job_id)
+        if record is None:
+            return ErrorResponse(error=f"unknown job {request.job_id!r}",
+                                 code="unknown_job")
+        return StatusResponse(
+            job_id=record.job_id, state=record.state, digest=record.digest,
+            attempts=record.attempts, submissions=record.submissions,
+            seconds=record.seconds, error=record.error)
+
+    async def _handle_result(self, request: ResultRequest) -> Message:
+        record = self._jobs.get(request.job_id)
+        if record is None:
+            return ErrorResponse(error=f"unknown job {request.job_id!r}",
+                                 code="unknown_job")
+        if request.wait and record.state in (QUEUED, RUNNING):
+            timeout = request.timeout
+            try:
+                if timeout is None:
+                    await record.done_event.wait()
+                else:
+                    await asyncio.wait_for(record.done_event.wait(),
+                                           timeout)
+            except asyncio.TimeoutError:
+                return ErrorResponse(
+                    error=f"job {record.job_id} still {record.state} "
+                          f"after {timeout}s", code="timeout")
+        if record.state in (QUEUED, RUNNING):
+            return ErrorResponse(
+                error=f"job {record.job_id} is {record.state}; poll "
+                      f"status or pass wait=true", code="not_ready")
+        data = record.result or {}
+        image_b64 = None
+        if request.include_image and record.state == DONE:
+            image_b64 = data.get("image_b64")
+        return ResultResponse(
+            job_id=record.job_id, state=record.state, digest=record.digest,
+            cached=bool(data.get("cached")), image_b64=image_b64,
+            image_sha256=data.get("image_sha256", ""),
+            stats=data.get("stats", {}), seconds=record.seconds or 0.0,
+            attempts=record.attempts, error=record.error)
+
+    def _handle_healthz(self) -> HealthzResponse:
+        return HealthzResponse(
+            state="draining" if self._draining else "serving",
+            uptime_seconds=time.monotonic() - self._started_at,
+            queue_depth=len(self._heap), running=self._running,
+            workers=self.workers, jobs_tracked=len(self._jobs))
+
+    # -- the worker pool -------------------------------------------------------
+
+    async def _worker_loop(self) -> None:
+        try:
+            while True:
+                await self._resumed.wait()
+                async with self._work_available:
+                    await self._work_available.wait_for(
+                        lambda: bool(self._heap))
+                    _prio, _seq, job_id = heapq.heappop(self._heap)
+                    self._running += 1
+                    self.counters.put("service.queue_depth",
+                                      len(self._heap))
+                record = self._jobs[job_id]
+                try:
+                    await self._run_job(record)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:    # noqa: BLE001 - keep worker up
+                    record.state = FAILED
+                    record.error = f"scheduler error: {exc}"
+                    record.finished_at = time.monotonic()
+                    self._inflight.pop(record.digest, None)
+                    record.done_event.set()
+                    self.counters.inc("service.failed")
+                finally:
+                    async with self._idle:
+                        self._running -= 1
+                        self._idle.notify_all()
+        except asyncio.CancelledError:
+            raise
+
+    async def _run_job(self, record: JobRecord) -> None:
+        record.state = RUNNING
+        loop = asyncio.get_running_loop()
+        cache_conf = None
+        if self.cache is not None:
+            cache_conf = {"root": self.cache.root,
+                          "version": self.cache.version}
+        payload = (0, record.job.as_dict(), cache_conf, False)
+        data: Optional[Dict[str, Any]] = None
+        error: Optional[str] = None
+
+        for attempt in range(self.retries + 1):
+            record.attempts = attempt + 1
+            future = loop.run_in_executor(self._pool, _service_worker,
+                                          payload)
+            try:
+                data = await asyncio.wait_for(future, self.job_timeout)
+            except asyncio.TimeoutError:
+                error = (f"job timed out after {self.job_timeout}s "
+                         f"(attempt {attempt + 1})")
+                future.cancel()
+                if self.executor_kind == "process":
+                    self._recycle_pool()
+            except Exception as exc:    # noqa: BLE001 - executor infra died
+                error = f"executor failure: {exc}"
+            else:
+                error = data.get("error")
+            if error is None:
+                break
+            if attempt < self.retries:
+                self.counters.inc("service.retried")
+                await asyncio.sleep(self._backoff_delay(attempt))
+
+        record.finished_at = time.monotonic()
+        if error is None and data is not None:
+            record.state = DONE
+            record.result = data
+            self.counters.inc("service.completed")
+            if self.cache is not None:
+                self.counters.inc(
+                    "cache.hits" if data.get("cached") else "cache.misses")
+            if record.seconds is not None:
+                self._avg_job_seconds = (0.7 * self._avg_job_seconds +
+                                         0.3 * record.seconds)
+        else:
+            record.state = FAILED
+            record.error = error
+            record.result = data
+            self.counters.inc("service.failed")
+        self._inflight.pop(record.digest, None)
+        record.done_event.set()
+        self._log(f"{record.job_id} {record.state} "
+                  f"({record.job.name}, {record.submissions} submission"
+                  f"{'s' if record.submissions != 1 else ''}, "
+                  f"attempts {record.attempts})")
+
+    def _backoff_delay(self, attempt: int) -> float:
+        # Exponential backoff with full jitter: delay in
+        # [0, min(cap, base * 2^attempt)] — the classic storm-spreader.
+        ceiling = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        return self._rng.uniform(0, ceiling)
+
+
+def _service_worker(payload) -> Dict[str, Any]:
+    """Executor entry point: run one job via the batch machinery
+    (``execute_job`` + artifact cache) and return a JSON-friendly dict.
+
+    The server sets ``job.output`` to a content-addressed path in its
+    output directory, so ``execute_job`` leaves the artifact bytes on
+    disk; they travel back base64-inline — the same shape whether the
+    executor is a process pool or a thread pool.
+    """
+    data = _batch_worker(payload)
+    data.pop("trace", None)
+    if data.get("error") is None:
+        _index, job_dict, _cache_conf, _verify = payload
+        output = job_dict.get("output")
+        try:
+            with open(output, "rb") as handle:
+                data["image_b64"] = \
+                    base64.b64encode(handle.read()).decode("ascii")
+        except (OSError, TypeError) as exc:
+            data["error"] = f"artifact readback failed: {exc}"
+    return data
+
+
+class BackgroundServer:
+    """Run a :class:`RecompileService` on a private event loop in a
+    daemon thread — the embedding used by tests, the smoke checks and
+    ``benchmarks/bench_service.py``.
+
+    ::
+
+        with BackgroundServer(cache_dir=tmp) as server:
+            client = ServiceClient(server.host, server.port)
+            ...
+    """
+
+    def __init__(self, **service_kwargs: Any) -> None:
+        cache_dir = service_kwargs.pop("cache_dir", None)
+        if cache_dir is not None and "cache" not in service_kwargs:
+            service_kwargs["cache"] = ArtifactCache(cache_dir)
+        service_kwargs.setdefault("executor", "thread")
+        self.service = RecompileService(**service_kwargs)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # -- context manager -------------------------------------------------------
+
+    def __enter__(self) -> "BackgroundServer":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    @property
+    def host(self) -> str:
+        return self.service.host
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self._thread_main,
+                                        name="polynima-service-loop",
+                                        daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise RuntimeError("service failed to start") \
+                from self._startup_error
+        if not self._ready.is_set():
+            raise RuntimeError("service did not come up within 30s")
+
+    def _thread_main(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.service.start())
+        except BaseException as exc:    # noqa: BLE001 - surfaced in start()
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    def _call(self, coro) -> Any:
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(timeout=600)
+
+    def resume(self) -> None:
+        """Thread-safe wrapper over :meth:`RecompileService.resume`."""
+        self._loop.call_soon_threadsafe(self.service.resume)
+
+    def drain(self) -> None:
+        """Graceful drain from the caller's thread; blocks until every
+        queued and running job has finished."""
+        self._call(self.service.drain())
+
+    def stop(self) -> None:
+        if self._loop is None:
+            return
+        try:
+            self._call(self.service.stop())
+        except Exception:   # noqa: BLE001 - teardown best-effort
+            pass
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+        self._loop = None

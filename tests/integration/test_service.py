@@ -1,0 +1,436 @@
+"""Integration tests for the recompilation service.
+
+A real :class:`BackgroundServer` (asyncio daemon on a daemon thread)
+with real TCP clients, driven over tiny mini-C binaries so every test
+stays fast.  The thread executor keeps jobs in-process; the process
+executor and the hybrid workload path get one test each plus the
+``benchmarks/smoke_service.py`` run.
+
+Determinism hooks: ``start_paused=True`` holds the worker pool until
+``resume()``, so coalescing and backpressure can be asserted exactly
+(N identical submissions pile up, provably before any pipeline work
+starts, then execute once).
+"""
+
+import concurrent.futures
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.binfmt import Image
+from repro.core import Recompiler
+from repro.minicc import compile_minic
+from repro.service import (BackgroundServer, ErrorResponse, ResultResponse,
+                           ServiceClient, ServiceError, StatusResponse,
+                           SubmitResponse)
+
+SOURCE = """
+int add(int a, int b) { return a + b; }
+int main() {
+  int total = 0;
+  for (int i = 0; i < 10; i = i + 1) total = add(total, i);
+  return total;
+}
+"""
+
+OTHER_SOURCE = """
+int main() {
+  int p = 1;
+  for (int i = 1; i < 8; i = i + 1) p = p * i;
+  return p;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def tiny_binary(tmp_path_factory):
+    image = compile_minic(SOURCE, opt_level=0)
+    path = str(tmp_path_factory.mktemp("svc-bins") / "tiny.vxe")
+    image.save(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def other_binary(tmp_path_factory):
+    image = compile_minic(OTHER_SOURCE, opt_level=2)
+    path = str(tmp_path_factory.mktemp("svc-bins2") / "other.vxe")
+    image.save(path)
+    return path
+
+
+def _client(server: BackgroundServer, **kwargs) -> ServiceClient:
+    return ServiceClient(server.host, server.port, **kwargs)
+
+
+class TestSubmitStatusResult:
+
+    def test_binary_job_end_to_end_bit_identical(self, tiny_binary):
+        with BackgroundServer(workers=1) as server:
+            client = _client(server)
+            submitted = client.submit(binary=tiny_binary)
+            assert isinstance(submitted, SubmitResponse)
+            assert not submitted.coalesced
+            result = client.result(submitted.job_id, wait=True, timeout=60)
+            assert isinstance(result, ResultResponse)
+            assert result.state == "done" and result.error is None
+            expected = Recompiler(
+                Image.load(tiny_binary)).recompile().image.to_bytes()
+            assert result.image_bytes() == expected
+
+            status = client.status(submitted.job_id)
+            assert isinstance(status, StatusResponse)
+            assert status.state == "done"
+            assert status.attempts == 1 and status.submissions == 1
+
+    def test_inline_image_bytes_path(self, tiny_binary):
+        with open(tiny_binary, "rb") as handle:
+            raw = handle.read()
+        with BackgroundServer(workers=1) as server:
+            image, result = _client(server).submit_and_wait(image_bytes=raw)
+            expected = Recompiler(
+                Image.load(tiny_binary)).recompile().image.to_bytes()
+            assert image == expected
+            assert result.image_sha256
+
+    def test_inline_and_path_submissions_share_a_digest(self, tiny_binary):
+        """The coalescing key is computed server-side from the bytes,
+        so the same program submitted by path and inline coalesces."""
+        with open(tiny_binary, "rb") as handle:
+            raw = handle.read()
+        with BackgroundServer(workers=1, start_paused=True) as server:
+            client = _client(server)
+            first = client.submit(binary=tiny_binary)
+            second = client.submit(image_bytes=raw)
+            assert isinstance(first, SubmitResponse)
+            assert isinstance(second, SubmitResponse)
+            assert second.coalesced and second.job_id == first.job_id
+            assert second.digest == first.digest
+            server.resume()
+            result = client.result(first.job_id, wait=True, timeout=60)
+            assert result.state == "done"
+
+    def test_result_without_image(self, tiny_binary):
+        with BackgroundServer(workers=1) as server:
+            client = _client(server)
+            submitted = client.submit(binary=tiny_binary)
+            result = client.result(submitted.job_id, wait=True, timeout=60,
+                                   include_image=False)
+            assert result.state == "done"
+            assert result.image_b64 is None and result.image_sha256
+
+    def test_unknown_job_errors(self):
+        with BackgroundServer(workers=1) as server:
+            client = _client(server)
+            for response in (client.status("job-nope"),
+                             client.result("job-nope", wait=False)):
+                assert isinstance(response, ErrorResponse)
+                assert response.code == "unknown_job"
+
+    def test_result_not_ready_and_wait_timeout(self, tiny_binary):
+        with BackgroundServer(workers=1, start_paused=True) as server:
+            client = _client(server)
+            submitted = client.submit(binary=tiny_binary)
+            blunt = client.result(submitted.job_id, wait=False)
+            assert isinstance(blunt, ErrorResponse)
+            assert blunt.code == "not_ready"
+            timed = client.result(submitted.job_id, wait=True, timeout=0.05)
+            assert isinstance(timed, ErrorResponse)
+            assert timed.code == "timeout"
+            server.resume()
+            done = client.result(submitted.job_id, wait=True, timeout=60)
+            assert done.state == "done"
+
+    def test_bad_requests_are_structured(self, tiny_binary):
+        with BackgroundServer(workers=1) as server:
+            client = _client(server)
+            missing = client.submit(binary="/nope/missing.vxe")
+            assert isinstance(missing, ErrorResponse)
+            assert missing.code == "bad_request"
+            both = client.submit(workload="histogram", binary=tiny_binary)
+            assert isinstance(both, ErrorResponse)
+            assert both.code == "bad_request"
+            unknown = client.submit(workload="not-a-workload")
+            assert isinstance(unknown, ErrorResponse)
+            assert unknown.code == "bad_request"
+            metrics = client.metrics()
+            assert metrics["service.rejected"] == 3
+
+
+class TestCoalescing:
+
+    N = 8
+
+    def test_concurrent_identical_submits_execute_once(self, tiny_binary):
+        """The tentpole acceptance check: N identical submissions while
+        the pool is paused -> one pipeline execution, N-1 coalesced."""
+        with BackgroundServer(workers=2, start_paused=True) as server:
+            client = _client(server)
+            with concurrent.futures.ThreadPoolExecutor(self.N) as pool:
+                responses = list(pool.map(
+                    lambda _i: client.submit(binary=tiny_binary),
+                    range(self.N)))
+            assert all(isinstance(r, SubmitResponse) for r in responses)
+            job_ids = {r.job_id for r in responses}
+            assert len(job_ids) == 1
+            assert sum(r.coalesced for r in responses) == self.N - 1
+            server.resume()
+            job_id = job_ids.pop()
+            result = client.result(job_id, wait=True, timeout=60)
+            assert result.state == "done"
+            status = client.status(job_id)
+            assert status.submissions == self.N
+            metrics = client.metrics()
+            assert metrics["service.submitted"] == self.N
+            assert metrics["service.coalesced"] == self.N - 1
+            assert metrics["service.completed"] == 1
+
+    def test_distinct_jobs_do_not_coalesce(self, tiny_binary, other_binary):
+        with BackgroundServer(workers=2, start_paused=True) as server:
+            client = _client(server)
+            first = client.submit(binary=tiny_binary)
+            second = client.submit(binary=other_binary)
+            third = client.submit(binary=tiny_binary, seed=99)
+            ids = {first.job_id, second.job_id, third.job_id}
+            assert len(ids) == 3
+            assert not any(r.coalesced for r in (first, second, third))
+            server.resume()
+            for submitted in (first, second, third):
+                result = client.result(submitted.job_id, wait=True,
+                                       timeout=60)
+                assert result.state == "done"
+
+    def test_completed_jobs_do_not_coalesce_new_submissions(
+            self, tiny_binary, tmp_path):
+        """Coalescing is for *in-flight* work only; afterwards a fresh
+        submission runs again (and hits the artifact cache instead)."""
+        with BackgroundServer(workers=1,
+                              cache_dir=str(tmp_path / "cache")) as server:
+            client = _client(server)
+            first = client.submit(binary=tiny_binary)
+            cold = client.result(first.job_id, wait=True, timeout=60)
+            assert cold.state == "done" and not cold.cached
+            second = client.submit(binary=tiny_binary)
+            assert not second.coalesced
+            assert second.job_id != first.job_id
+            warm = client.result(second.job_id, wait=True, timeout=60)
+            assert warm.state == "done" and warm.cached
+            assert warm.image_bytes() == cold.image_bytes()
+            metrics = client.metrics()
+            assert metrics["cache.misses"] == 1
+            assert metrics["cache.hits"] == 1
+
+
+class TestBackpressure:
+
+    def test_full_queue_answers_busy_with_retry_hint(self, tiny_binary,
+                                                     other_binary):
+        with BackgroundServer(workers=1, queue_limit=1,
+                              start_paused=True) as server:
+            client = _client(server)
+            first = client.submit(binary=tiny_binary)
+            assert isinstance(first, SubmitResponse)
+            busy = client.submit(binary=other_binary)
+            assert isinstance(busy, ErrorResponse)
+            assert busy.code == "busy"
+            assert busy.retry_after is not None and busy.retry_after > 0
+            # Identical traffic still coalesces even when the queue is
+            # full -- coalescing consumes no queue slot.
+            piggy = client.submit(binary=tiny_binary)
+            assert isinstance(piggy, SubmitResponse) and piggy.coalesced
+            metrics = client.metrics()
+            assert metrics["service.rejected"] == 1
+            server.resume()
+            assert client.result(first.job_id, wait=True,
+                                 timeout=60).state == "done"
+
+    def test_submit_retrying_rides_out_backpressure(self, tiny_binary,
+                                                    other_binary):
+        with BackgroundServer(workers=1, queue_limit=1,
+                              start_paused=True) as server:
+            client = _client(server)
+            first = client.submit(binary=tiny_binary)
+            resumer = concurrent.futures.ThreadPoolExecutor(1)
+            resumer.submit(lambda: (time.sleep(0.3), server.resume()))
+            submitted = client.submit_retrying(max_attempts=20,
+                                               binary=other_binary)
+            assert isinstance(submitted, SubmitResponse)
+            for job in (first, submitted):
+                assert client.result(job.job_id, wait=True,
+                                     timeout=60).state == "done"
+            resumer.shutdown(wait=True)
+
+
+class TestFailuresAndRetries:
+
+    def test_corrupt_binary_fails_with_bounded_retries(self, tmp_path):
+        path = str(tmp_path / "corrupt.vxe")
+        with open(path, "wb") as handle:
+            handle.write(b"this is not a vxe image")
+        with BackgroundServer(workers=1, retries=2,
+                              backoff_base=0.001,
+                              backoff_cap=0.01) as server:
+            client = _client(server)
+            submitted = client.submit(binary=path)
+            assert isinstance(submitted, SubmitResponse)
+            result = client.result(submitted.job_id, wait=True, timeout=60)
+            assert isinstance(result, ResultResponse)
+            assert result.state == "failed"
+            assert result.error and "bad magic" in result.error
+            assert result.attempts == 3          # 1 try + 2 retries
+            metrics = client.metrics()
+            assert metrics["service.failed"] == 1
+            assert metrics["service.retried"] == 2
+            assert "service.completed" not in metrics
+
+    def test_failed_job_does_not_poison_the_server(self, tmp_path,
+                                                   tiny_binary):
+        path = str(tmp_path / "bad.vxe")
+        with open(path, "wb") as handle:
+            handle.write(b"\x00" * 64)
+        with BackgroundServer(workers=1, retries=0) as server:
+            client = _client(server)
+            bad = client.submit(binary=path)
+            assert client.result(bad.job_id, wait=True,
+                                 timeout=60).state == "failed"
+            image, result = client.submit_and_wait(binary=tiny_binary)
+            assert result.state == "done" and image
+
+    def test_job_timeout_marks_job_failed(self, tiny_binary):
+        with BackgroundServer(workers=1, retries=0, job_timeout=0.0001,
+                              start_paused=True) as server:
+            client = _client(server)
+            submitted = client.submit(binary=tiny_binary)
+            server.resume()
+            result = client.result(submitted.job_id, wait=True, timeout=60)
+            assert result.state == "failed"
+            assert "timed out" in (result.error or "")
+            assert client.metrics()["service.failed"] == 1
+
+
+class TestHealthAndLifecycle:
+
+    def test_healthz_reports_queue_and_workers(self, tiny_binary):
+        with BackgroundServer(workers=3, start_paused=True) as server:
+            client = _client(server)
+            health = client.healthz()
+            assert health.state == "serving"
+            assert health.workers == 3 and health.queue_depth == 0
+            client.submit(binary=tiny_binary)
+            health = client.healthz()
+            assert health.queue_depth + health.running == 1
+            assert health.jobs_tracked == 1
+            assert health.uptime_seconds >= 0
+            server.resume()
+
+    def test_metrics_snapshot_is_plain_json(self, tiny_binary):
+        with BackgroundServer(workers=1) as server:
+            client = _client(server)
+            client.submit_and_wait(binary=tiny_binary)
+            metrics = client.metrics()
+            assert metrics["service.submitted"] == 1
+            assert metrics["service.completed"] == 1
+            assert metrics["service.queue_depth"] == 0
+
+    def test_drain_finishes_queued_work_and_flushes_metrics(
+            self, tiny_binary, other_binary, tmp_path):
+        metrics_out = str(tmp_path / "metrics.json")
+        server = BackgroundServer(workers=1, start_paused=True,
+                                  metrics_out=metrics_out)
+        server.start()
+        try:
+            client = _client(server)
+            jobs = [client.submit(binary=tiny_binary),
+                    client.submit(binary=other_binary)]
+            assert all(isinstance(j, SubmitResponse) for j in jobs)
+            server.drain()      # resumes, finishes both, stops, flushes
+            assert os.path.exists(metrics_out)
+            import json
+            with open(metrics_out) as handle:
+                flushed = json.load(handle)
+            assert flushed["service.completed"] == 2
+            assert flushed["service.queue_depth"] == 0
+        finally:
+            server.stop()
+
+    def test_draining_server_rejects_new_submissions(self, tiny_binary):
+        with BackgroundServer(workers=1) as server:
+            client = _client(server)
+            client.submit_and_wait(binary=tiny_binary)
+            server.drain()
+            # The socket is closed after drain; a rejected submit shows
+            # up as a transport error, never a hang.
+            with pytest.raises(ServiceError):
+                client.submit(binary=tiny_binary, seed=5)
+
+    def test_protocol_garbage_gets_structured_error(self):
+        import socket
+        with BackgroundServer(workers=1) as server:
+            with socket.create_connection((server.host,
+                                           server.port)) as sock:
+                sock.sendall(b'{"kind":"explode","v":"nope"}\n')
+                line = sock.recv(1 << 16)
+            from repro.service import decode_response
+            response = decode_response(line.rstrip(b"\n"))
+            assert isinstance(response, ErrorResponse)
+            assert response.code == "protocol"
+
+
+class TestWorkloadAndProcessPaths:
+
+    def test_hybrid_workload_job(self, tmp_path):
+        """One full hybrid pipeline run through the service (the other
+        workloads are covered by benchmarks/smoke_service.py)."""
+        with BackgroundServer(workers=1,
+                              cache_dir=str(tmp_path / "cache")) as server:
+            image, result = _client(server).submit_and_wait(
+                workload="histogram", opt_level=0, timeout=300)
+            assert result.state == "done" and image
+            assert result.digest
+
+    def test_process_executor_round_trip(self, tiny_binary):
+        with BackgroundServer(workers=1, executor="process") as server:
+            image, result = _client(server).submit_and_wait(
+                binary=tiny_binary, timeout=300)
+            expected = Recompiler(
+                Image.load(tiny_binary)).recompile().image.to_bytes()
+            assert image == expected
+
+
+class TestCliDaemon:
+
+    def test_sigterm_drains_and_exits_zero(self, tiny_binary, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        metrics_out = str(tmp_path / "metrics.json")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+             "--no-cache", "--thread-executor", "--workers", "1",
+             "--metrics-out", metrics_out],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env)
+        try:
+            ready = proc.stdout.readline()
+            assert "listening on" in ready
+            port = int(ready.rsplit(":", 1)[1].split()[0])
+            client = ServiceClient(port=port)
+            assert client.wait_until_up()
+            out = str(tmp_path / "out.vxe")
+            rc = subprocess.run(
+                [sys.executable, "-m", "repro.cli", "submit", tiny_binary,
+                 "--port", str(port), "-o", out],
+                capture_output=True, text=True, env=env,
+                timeout=120).returncode
+            assert rc == 0 and os.path.getsize(out) > 0
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+            assert os.path.exists(metrics_out)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)

@@ -194,3 +194,85 @@ class TestArtifactCache:
         new = ArtifactCache(str(tmp_path), version="v-new")
         old.put(old.digest(IMAGE), IMAGE)
         assert new.get(new.digest(IMAGE)) is None
+
+
+# ---------------------------------------------------------------------------
+# Concurrent publication (the service's coalescing + batch workers both
+# lean on os.replace atomicity: N writers of one digest must all
+# succeed, and a reader must never observe a torn entry)
+
+
+def _publisher(root, digest, payload, rounds, barrier):
+    """Child-process body: hammer put() on one digest."""
+    cache = ArtifactCache(root)
+    barrier.wait()                  # maximise overlap between writers
+    for _ in range(rounds):
+        cache.put(digest, payload, meta={"who": os.getpid()})
+
+
+class TestConcurrentPublish:
+
+    ROUNDS = 40
+
+    def test_two_processes_publish_same_digest(self, tmp_path):
+        """Two processes racing to publish the same digest must both
+        succeed via the temp-file + os.replace path, and the surviving
+        entry must be complete and verifiable."""
+        import multiprocessing
+        ctx = multiprocessing.get_context()
+        root = str(tmp_path / "cache")
+        payload = IMAGE * 64
+        digest = ArtifactCache(root).digest(payload, **OPTIONS)
+        barrier = ctx.Barrier(2)
+        procs = [ctx.Process(target=_publisher,
+                             args=(root, digest, payload,
+                                   self.ROUNDS, barrier))
+                 for _ in range(2)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+        assert all(p.exitcode == 0 for p in procs), \
+            [p.exitcode for p in procs]
+        reader = ArtifactCache(root)
+        hit = reader.get(digest)
+        assert hit is not None and hit.image_bytes == payload
+        assert reader.counters.get("cache.corrupt") == 0
+        # Exactly one entry survives; no stray temp files leak.
+        assert len(reader) == 1
+        leftovers = [name for _dir, _subs, names in os.walk(root)
+                     for name in names if name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_reader_never_observes_torn_entry(self, tmp_path):
+        """A reader polling get() while writer threads republish the
+        digest sees either a miss or the full payload — never a
+        partial write, never a corrupt-entry deletion."""
+        import threading
+        root = str(tmp_path / "cache")
+        payload = IMAGE * 256
+        writer_cache = ArtifactCache(root)
+        digest = writer_cache.digest(payload, **OPTIONS)
+        stop = threading.Event()
+
+        def write_loop():
+            while not stop.is_set():
+                writer_cache.put(digest, payload)
+
+        writers = [threading.Thread(target=write_loop) for _ in range(3)]
+        for t in writers:
+            t.start()
+        reader = ArtifactCache(root, counters=Counters())
+        seen_hit = False
+        try:
+            for _ in range(300):
+                hit = reader.get(digest)
+                if hit is not None:
+                    seen_hit = True
+                    assert hit.image_bytes == payload
+        finally:
+            stop.set()
+            for t in writers:
+                t.join()
+        assert seen_hit
+        assert reader.counters.get("cache.corrupt") == 0

@@ -202,6 +202,49 @@ class TestRunBatch:
         assert not batch.ok
         assert batch.results[0].ok and not batch.results[1].ok
 
+    def test_mixed_manifest_isolates_failures(self, tiny_binaries,
+                                              tmp_path):
+        """A manifest mixing healthy jobs, an unreadable binary and a
+        structurally invalid job still completes every runnable job;
+        the bad ones surface as per-job error results in order."""
+        jobs = [
+            RecompileJob(binary=tiny_binaries[0]),
+            RecompileJob(),                         # invalid: neither set
+            RecompileJob(binary="/nope/nothing.vxe"),   # unreadable
+            RecompileJob(workload="histogram",
+                         binary=tiny_binaries[1]),  # invalid: both set
+            RecompileJob(binary=tiny_binaries[2]),
+        ]
+        batch = run_batch(jobs, jobs_n=1,
+                          cache=ArtifactCache(str(tmp_path / "c")))
+        assert not batch.ok
+        assert [r.index for r in batch.results] == [0, 1, 2, 3, 4]
+        assert batch.results[0].ok and batch.results[4].ok
+        assert "exactly one" in batch.results[1].error
+        assert "nothing.vxe" in batch.results[2].error
+        assert "exactly one" in batch.results[3].error
+        # The healthy jobs really ran (and were cached).
+        assert batch.results[0].digest and batch.results[4].digest
+
+    def test_mixed_manifest_through_process_pool(self, tiny_binaries,
+                                                 tmp_path):
+        """Same isolation holds when the batch fans out to worker
+        processes: a failing job must not poison the pool map."""
+        jobs = [
+            RecompileJob(binary=tiny_binaries[0]),
+            RecompileJob(binary="/nope/nothing.vxe"),
+            RecompileJob(binary=tiny_binaries[1]),
+        ]
+        batch = run_batch(jobs, jobs_n=2,
+                          cache=ArtifactCache(str(tmp_path / "c")))
+        assert batch.executor == "process"
+        assert [r.ok for r in batch.results] == [True, False, True]
+
+    def test_execute_job_captures_validation_error(self):
+        result = execute_job(RecompileJob(), 3)
+        assert not result.ok and "exactly one" in result.error
+        assert result.index == 3
+
 
 # ---------------------------------------------------------------------------
 # Hybrid-path integration (one real workload; seconds, not minutes)

@@ -81,7 +81,8 @@ class TestReproducingDoc:
 
     def test_smoke_scripts_mentioned(self):
         doc = _read("docs", "REPRODUCING.md")
-        for smoke in ("smoke_trace.py", "smoke_batch.py", "smoke_pgo.py"):
+        for smoke in ("smoke_trace.py", "smoke_batch.py", "smoke_pgo.py",
+                      "smoke_service.py"):
             assert smoke in doc
 
 
@@ -92,7 +93,7 @@ class TestCrossReferences:
         for doc in ("docs/REPRODUCING.md", "docs/CLI.md",
                     "docs/ARCHITECTURE.md", "docs/OBSERVABILITY.md",
                     "docs/PERFORMANCE.md", "docs/SANITIZERS.md",
-                    "docs/ISA.md", "docs/PGO.md"):
+                    "docs/ISA.md", "docs/PGO.md", "docs/SERVICE.md"):
             assert doc in readme, f"README.md does not link {doc}"
 
     def test_docs_cross_reference_each_other(self):
@@ -100,7 +101,7 @@ class TestCrossReferences:
         # or the architecture overview, so no page is a dead end.
         for name in ("ARCHITECTURE.md", "OBSERVABILITY.md",
                      "PERFORMANCE.md", "SANITIZERS.md", "CLI.md",
-                     "ISA.md", "PGO.md"):
+                     "ISA.md", "PGO.md", "SERVICE.md"):
             doc = _read("docs", name)
             others = re.findall(r"\[([A-Z]+\.md)\]\(", doc) + \
                 re.findall(r"docs/([A-Z]+\.md)", doc)

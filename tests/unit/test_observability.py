@@ -186,6 +186,96 @@ class TestCounters:
         assert Counters().format_table() == "(no counters)"
 
 
+class TestCountersThreadSafety:
+    """The recompilation service updates one registry from the asyncio
+    loop, executor callbacks and client handlers concurrently; without
+    the internal lock, racing read-modify-write ``inc`` calls lose
+    updates."""
+
+    THREADS = 8
+    ROUNDS = 4000
+
+    def test_concurrent_increments_are_exact(self):
+        import threading
+        counters = Counters()
+        barrier = threading.Barrier(self.THREADS)
+
+        def hammer(tid):
+            barrier.wait()
+            for _ in range(self.ROUNDS):
+                counters.inc("svc.shared")
+                counters.inc("svc.weighted", 2)
+                counters.inc(f"svc.private.{tid}")
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(self.THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counters.get("svc.shared") == self.THREADS * self.ROUNDS
+        assert counters.get("svc.weighted") == 2 * self.THREADS * self.ROUNDS
+        for tid in range(self.THREADS):
+            assert counters.get(f"svc.private.{tid}") == self.ROUNDS
+
+    def test_snapshots_during_mutation_are_consistent(self):
+        """Readers taking snapshots while writers increment must never
+        crash (dict-changed-size) and always observe a coherent dict."""
+        import threading
+        counters = Counters()
+        stop = threading.Event()
+        failures = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                counters.inc("w.count")
+                counters.put("w.gauge", i)
+                i += 1
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    snap = counters.snapshot()
+                    counters.with_prefix("w.")
+                    len(counters)
+                    "w.count" in counters
+                    assert all(isinstance(k, str) for k in snap)
+                except Exception as exc:    # noqa: BLE001 - test probe
+                    failures.append(exc)
+                    return
+
+        threads = [threading.Thread(target=writer) for _ in range(3)] + \
+                  [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        import time
+        time.sleep(0.2)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not failures, failures
+
+    def test_merge_while_source_mutates(self):
+        """merge() snapshots its source, so merging from a registry
+        being written to concurrently neither crashes nor deadlocks."""
+        import threading
+        src, dst = Counters(), Counters()
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                src.inc("m.x")
+
+        t = threading.Thread(target=writer)
+        t.start()
+        for _ in range(50):
+            dst.merge(src)
+        stop.set()
+        t.join()
+        assert dst.get("m.x") > 0
+
+
 class TestEmulatorCounters:
     @pytest.fixture(scope="class")
     def mt_image(self):

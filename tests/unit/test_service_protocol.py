@@ -1,0 +1,135 @@
+"""Unit tests for the service wire protocol (JSON lines, no sockets).
+
+Everything here is pure encode/decode: every message kind must
+round-trip byte-for-byte through canonical JSON, and decoding must be
+strict — version mismatches, unknown kinds and unknown fields are
+:class:`ProtocolError`, never silent coercion.
+"""
+
+import base64
+import json
+
+import pytest
+
+from repro.service import (PROTOCOL_VERSION, ErrorResponse, HealthzRequest,
+                           HealthzResponse, MetricsRequest, MetricsResponse,
+                           ProtocolError, ResultRequest, ResultResponse,
+                           StatusRequest, StatusResponse, SubmitRequest,
+                           SubmitResponse, decode_request, decode_response)
+
+REQUESTS = [
+    SubmitRequest(workload="histogram", opt_level=0, seed=5, priority=2),
+    SubmitRequest(binary="/some/prog.vxe", fence_opt=True),
+    SubmitRequest.with_image(b"\x00\x01magic", opt_level=2),
+    StatusRequest(job_id="job-7"),
+    ResultRequest(job_id="job-7", wait=True, timeout=3.5,
+                  include_image=False),
+    HealthzRequest(),
+    MetricsRequest(),
+]
+
+RESPONSES = [
+    ErrorResponse(error="queue full", code="busy", retry_after=0.25),
+    ErrorResponse(error="no such job", code="unknown_job"),
+    SubmitResponse(job_id="job-1", digest="ab" * 32, state="queued",
+                   coalesced=True, queue_depth=3),
+    StatusResponse(job_id="job-1", state="running", digest="cd" * 32,
+                   attempts=2, submissions=4, seconds=1.25),
+    ResultResponse(job_id="job-1", state="done", digest="ef" * 32,
+                   cached=True, image_b64=base64.b64encode(b"img").decode(),
+                   image_sha256="00" * 32, stats={"n": 1}, seconds=0.5,
+                   attempts=1),
+    ResultResponse(job_id="job-2", state="failed", error="boom"),
+    HealthzResponse(state="draining", uptime_seconds=9.0, queue_depth=1,
+                    running=2, workers=4, jobs_tracked=7),
+    MetricsResponse(counters={"service.submitted": 3, "cache.hits": 1}),
+]
+
+
+class TestRoundTrips:
+
+    @pytest.mark.parametrize("message", REQUESTS,
+                             ids=lambda m: type(m).__name__)
+    def test_request_round_trip(self, message):
+        again = decode_request(message.encode().rstrip(b"\n"))
+        assert type(again) is type(message)
+        assert again == message
+
+    @pytest.mark.parametrize("message", RESPONSES,
+                             ids=lambda m: m.KIND + "-" + (
+                                 getattr(m, "code", "") or
+                                 getattr(m, "state", "") or "x"))
+    def test_response_round_trip(self, message):
+        again = decode_response(message.encode().rstrip(b"\n"))
+        assert type(again) is type(message)
+        assert again == message
+
+    def test_encoding_is_canonical_and_deterministic(self):
+        message = SubmitRequest(workload="kmeans", opt_level=3)
+        first, second = message.encode(), message.encode()
+        assert first == second
+        data = json.loads(first)
+        assert first.rstrip(b"\n").decode() == json.dumps(
+            data, sort_keys=True, separators=(",", ":"))
+
+    def test_none_fields_are_omitted_from_the_wire(self):
+        data = json.loads(SubmitRequest(workload="pca").encode())
+        assert "binary" not in data and "profile" not in data
+        assert data["kind"] == "submit" and data["v"] == PROTOCOL_VERSION
+
+
+class TestStrictDecoding:
+
+    def test_version_mismatch_rejected(self):
+        data = SubmitRequest(workload="histogram").as_dict()
+        data["v"] = "polynima-service-v0"
+        with pytest.raises(ProtocolError, match="version mismatch"):
+            decode_request(json.dumps(data).encode())
+
+    def test_missing_version_rejected(self):
+        data = SubmitRequest(workload="histogram").as_dict()
+        del data["v"]
+        with pytest.raises(ProtocolError, match="version mismatch"):
+            decode_request(json.dumps(data).encode())
+
+    def test_unknown_kind_rejected(self):
+        blob = json.dumps({"kind": "explode", "v": PROTOCOL_VERSION})
+        with pytest.raises(ProtocolError, match="unknown request kind"):
+            decode_request(blob.encode())
+        with pytest.raises(ProtocolError, match="unknown response kind"):
+            decode_response(blob.encode())
+
+    def test_unknown_field_rejected(self):
+        data = StatusRequest(job_id="j").as_dict()
+        data["sneaky"] = 1
+        with pytest.raises(ProtocolError, match="unknown fields"):
+            decode_request(json.dumps(data).encode())
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ProtocolError, match="undecodable"):
+            decode_request(b"not json at all")
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_request(b'["a","list"]')
+
+    def test_request_and_response_registries_are_disjoint(self):
+        line = HealthzRequest().encode().rstrip(b"\n")
+        with pytest.raises(ProtocolError, match="unknown response kind"):
+            decode_response(line)
+
+
+class TestImagePayloads:
+
+    def test_with_image_round_trips_bytes(self):
+        payload = bytes(range(256)) * 3
+        request = SubmitRequest.with_image(payload, opt_level=0)
+        again = decode_request(request.encode().rstrip(b"\n"))
+        assert again.image_bytes() == payload
+
+    def test_bad_base64_raises_protocol_error(self):
+        request = SubmitRequest(binary_b64="!!!not base64!!!")
+        with pytest.raises(ProtocolError, match="bad binary_b64"):
+            request.image_bytes()
+
+    def test_no_image_returns_none(self):
+        assert SubmitRequest(workload="histogram").image_bytes() is None
+        assert ResultResponse(job_id="j").image_bytes() is None
