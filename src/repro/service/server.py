@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import asyncio
 import base64
+import collections
 import concurrent.futures
 import hashlib
 import heapq
@@ -50,11 +51,11 @@ from ..core.artifact_cache import ArtifactCache, stable_digest
 from ..core.batch import (RecompileJob, _worker as _batch_worker,
                           hybrid_options, static_options)
 from ..observability import Counters
-from .protocol import (ErrorResponse, HealthzRequest, HealthzResponse,
-                       Message, MetricsRequest, MetricsResponse,
-                       ProtocolError, ResultRequest, ResultResponse,
-                       StatusRequest, StatusResponse, SubmitRequest,
-                       SubmitResponse, decode_request)
+from .protocol import (MAX_LINE_BYTES, ErrorResponse, HealthzRequest,
+                       HealthzResponse, Message, MetricsRequest,
+                       MetricsResponse, ProtocolError, ResultRequest,
+                       ResultResponse, StatusRequest, StatusResponse,
+                       SubmitRequest, SubmitResponse, decode_request)
 
 #: Force the thread executor (no forked workers) — mirrors
 #: ``POLYNIMA_BATCH_INPROCESS`` for the batch driver.
@@ -72,6 +73,10 @@ class JobRecord:
     job: RecompileJob
     priority: int = 0
     state: str = QUEUED
+    #: The (priority, seq) pair of this record's *live* heap entry.
+    #: Re-pushing with a better priority replaces it; stale entries
+    #: stay in the heap and are lazily skipped by the worker loop.
+    heap_entry: Tuple[int, int] = (0, 0)
     submissions: int = 1            # coalesced submit count (incl. first)
     attempts: int = 0
     submitted_at: float = 0.0
@@ -101,6 +106,8 @@ class RecompileService:
                  counters: Optional[Counters] = None,
                  start_paused: bool = False,
                  metrics_out: Optional[str] = None,
+                 job_history_limit: int = 256,
+                 max_line_bytes: int = MAX_LINE_BYTES,
                  verbose: bool = False) -> None:
         self.host = host
         self.port = port
@@ -119,12 +126,21 @@ class RecompileService:
             executor = "thread"
         self.executor_kind = executor
         self.metrics_out = metrics_out
+        #: Finished JobRecords kept for status/result fetches before
+        #: eviction — bounds daemon memory (each DONE result carries
+        #: the full base64 artifact).
+        self.job_history_limit = max(1, job_history_limit)
+        self.max_line_bytes = max_line_bytes
         self.verbose = verbose
 
         self._heap: List[Tuple[int, int, str]] = []   # (priority, seq, id)
         self._seq = itertools.count()
         self._jobs: Dict[str, JobRecord] = {}
         self._inflight: Dict[str, str] = {}           # digest -> job_id
+        #: Live queued-job count; ``len(self._heap)`` overcounts once
+        #: priority upgrades leave lazily-deleted stale entries behind.
+        self._queued = 0
+        self._finished_order: collections.deque = collections.deque()
         self._running = 0
         self._draining = False
         self._started_at = time.monotonic()
@@ -140,7 +156,9 @@ class RecompileService:
         self._pool: Optional[concurrent.futures.Executor] = None
         self._stopped = False
         self._spool_dir: Optional[str] = None
-        self._profile_digests: Dict[str, str] = {}
+        #: Profile content digests keyed by (path, mtime_ns, size), so
+        #: rewriting a profile file invalidates the cached digest.
+        self._profile_digests: Dict[Tuple[str, int, int], str] = {}
         self.counters.put("service.queue_depth", 0)
 
     # -- lifecycle -------------------------------------------------------------
@@ -153,8 +171,12 @@ class RecompileService:
         if not self._start_paused:
             self._resumed.set()
         self._pool = self._make_pool()
+        # asyncio's default 64 KiB stream limit would make readline()
+        # blow up on any realistic inline-binary submit; size it to the
+        # protocol's line cap (+ slack for the newline framing).
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port)
+            self._handle_connection, self.host, self.port,
+            limit=self.max_line_bytes + 1024)
         self.port = self._server.sockets[0].getsockname()[1]
         self._worker_tasks = [
             asyncio.ensure_future(self._worker_loop())
@@ -196,7 +218,7 @@ class RecompileService:
         self.resume()               # a paused server must still drain
         async with self._idle:
             await self._idle.wait_for(
-                lambda: not self._heap and self._running == 0)
+                lambda: self._queued == 0 and self._running == 0)
         await self.stop()
         self._flush_metrics()
 
@@ -302,14 +324,19 @@ class RecompileService:
                              **options)
 
     def _profile_digest(self, path: str) -> str:
-        digest = self._profile_digests.get(path)
+        try:
+            stat = os.stat(path)
+        except OSError as exc:
+            raise ValueError(f"cannot load profile {path!r}: {exc}")
+        key = (path, stat.st_mtime_ns, stat.st_size)
+        digest = self._profile_digests.get(key)
         if digest is None:
             from ..profile import Profile
             try:
                 digest = Profile.load(path).digest()
             except Exception as exc:    # noqa: BLE001 - surfaced to client
                 raise ValueError(f"cannot load profile {path!r}: {exc}")
-            self._profile_digests[path] = digest
+            self._profile_digests[key] = digest
         return digest
 
     def _scratch_dir(self, name: str) -> str:
@@ -332,7 +359,9 @@ class RecompileService:
         sha = hashlib.sha256(image_bytes).hexdigest()
         path = os.path.join(self._scratch_dir("spool"), sha + ".vxe")
         if not os.path.exists(path):
-            tmp = path + f".{os.getpid()}.tmp"
+            # Submits spool from executor threads now, so the tmp name
+            # must be unique per thread, not just per process.
+            tmp = path + f".{os.getpid()}.{threading.get_ident()}.tmp"
             with open(tmp, "wb") as handle:
                 handle.write(image_bytes)
             os.replace(tmp, path)
@@ -354,6 +383,19 @@ class RecompileService:
                 try:
                     line = await reader.readline()
                 except (ConnectionError, asyncio.LimitOverrunError):
+                    break
+                except ValueError:
+                    # readline() tripped the stream limit mid-line; the
+                    # rest of the oversized line is unframed garbage, so
+                    # answer with a structured error and close.
+                    writer.write(ErrorResponse(
+                        error=f"request line exceeds "
+                              f"{self.max_line_bytes} bytes",
+                        code="protocol").encode())
+                    try:
+                        await writer.drain()
+                    except ConnectionError:
+                        pass
                     break
                 if not line:
                     break
@@ -403,12 +445,20 @@ class RecompileService:
             return ErrorResponse(error="server is draining", code="draining",
                                  retry_after=None)
 
+        # Digesting runs the workload compiler / reads the binary off
+        # disk — CPU- and IO-bound work that must not block the event
+        # loop (healthz and concurrent submits keep flowing).
+        loop = asyncio.get_running_loop()
         try:
-            job = self._job_from_request(request)
-            digest = self._job_digest(job)
+            job, digest = await loop.run_in_executor(
+                None, self._prepare_submit, request)
         except (ValueError, ProtocolError) as exc:
             self.counters.inc("service.rejected")
             return ErrorResponse(error=str(exc), code="bad_request")
+        if self._draining:      # drain may have started while digesting
+            self.counters.inc("service.rejected")
+            return ErrorResponse(error="server is draining", code="draining",
+                                 retry_after=None)
 
         # Coalesce with in-flight work for the same digest: the
         # pipeline is bit-deterministic, so one execution serves all.
@@ -416,12 +466,20 @@ class RecompileService:
         if existing_id is not None:
             record = self._jobs[existing_id]
             record.submissions += 1
+            if record.state == QUEUED and request.priority < record.priority:
+                # A more urgent submission attached to a queued job:
+                # re-push at the better priority (the old heap entry is
+                # lazily skipped by the worker loop).
+                record.priority = request.priority
+                record.heap_entry = (request.priority, next(self._seq))
+                heapq.heappush(self._heap,
+                               record.heap_entry + (record.job_id,))
             self.counters.inc("service.coalesced")
             return SubmitResponse(job_id=record.job_id, digest=digest,
                                   state=record.state, coalesced=True,
-                                  queue_depth=len(self._heap))
+                                  queue_depth=self._queued)
 
-        if len(self._heap) >= self.queue_limit:
+        if self._queued >= self.queue_limit:
             self.counters.inc("service.rejected")
             return ErrorResponse(
                 error=f"job queue full ({self.queue_limit} queued)",
@@ -431,16 +489,24 @@ class RecompileService:
         job.output = self._artifact_path(digest)
         record = JobRecord(job_id=job_id, digest=digest, job=job,
                            priority=request.priority,
+                           heap_entry=(request.priority, next(self._seq)),
                            submitted_at=time.monotonic())
         self._jobs[job_id] = record
         self._inflight[digest] = job_id
-        heapq.heappush(self._heap,
-                       (request.priority, next(self._seq), job_id))
-        self.counters.put("service.queue_depth", len(self._heap))
+        heapq.heappush(self._heap, record.heap_entry + (job_id,))
+        self._queued += 1
+        self.counters.put("service.queue_depth", self._queued)
         async with self._work_available:
             self._work_available.notify()
         return SubmitResponse(job_id=job_id, digest=digest, state=QUEUED,
-                              coalesced=False, queue_depth=len(self._heap))
+                              coalesced=False, queue_depth=self._queued)
+
+    def _prepare_submit(self,
+                        request: SubmitRequest) -> Tuple[RecompileJob, str]:
+        """Build the job and compute its coalescing digest (runs in an
+        executor thread — never on the event loop)."""
+        job = self._job_from_request(request)
+        return job, self._job_digest(job)
 
     def _job_from_request(self, request: SubmitRequest) -> RecompileJob:
         sources = [s for s in (request.workload, request.binary,
@@ -463,7 +529,7 @@ class RecompileService:
     def _retry_after_hint(self) -> float:
         # Expected time for one queue slot to free: depth * avg job
         # time / workers, floored so clients do not hammer.
-        estimate = len(self._heap) * self._avg_job_seconds / self.workers
+        estimate = self._queued * self._avg_job_seconds / self.workers
         return round(max(0.1, min(estimate, 60.0)), 3)
 
     def _handle_status(self, request: StatusRequest) -> Message:
@@ -512,23 +578,39 @@ class RecompileService:
         return HealthzResponse(
             state="draining" if self._draining else "serving",
             uptime_seconds=time.monotonic() - self._started_at,
-            queue_depth=len(self._heap), running=self._running,
+            queue_depth=self._queued, running=self._running,
             workers=self.workers, jobs_tracked=len(self._jobs))
 
     # -- the worker pool -------------------------------------------------------
+
+    def _pop_next_job(self) -> Optional[JobRecord]:
+        """Pop the best live queued job, discarding stale heap entries
+        left behind by priority upgrades (lazy deletion)."""
+        while self._heap:
+            prio, seq, job_id = heapq.heappop(self._heap)
+            record = self._jobs.get(job_id)
+            if (record is not None and record.state == QUEUED
+                    and record.heap_entry == (prio, seq)):
+                return record
+        return None
 
     async def _worker_loop(self) -> None:
         try:
             while True:
                 await self._resumed.wait()
                 async with self._work_available:
-                    await self._work_available.wait_for(
-                        lambda: bool(self._heap))
-                    _prio, _seq, job_id = heapq.heappop(self._heap)
+                    record = None
+                    while record is None:
+                        await self._work_available.wait_for(
+                            lambda: bool(self._heap))
+                        record = self._pop_next_job()
+                    # Claim synchronously (no await before this) so a
+                    # coalescing priority upgrade cannot re-push a job
+                    # a worker has already taken.
+                    record.state = RUNNING
+                    self._queued -= 1
                     self._running += 1
-                    self.counters.put("service.queue_depth",
-                                      len(self._heap))
-                record = self._jobs[job_id]
+                    self.counters.put("service.queue_depth", self._queued)
                 try:
                     await self._run_job(record)
                 except asyncio.CancelledError:
@@ -540,6 +622,7 @@ class RecompileService:
                     self._inflight.pop(record.digest, None)
                     record.done_event.set()
                     self.counters.inc("service.failed")
+                    self._note_finished(record)
                 finally:
                     async with self._idle:
                         self._running -= 1
@@ -548,7 +631,7 @@ class RecompileService:
             raise
 
     async def _run_job(self, record: JobRecord) -> None:
-        record.state = RUNNING
+        record.state = RUNNING      # already claimed; keep for clarity
         loop = asyncio.get_running_loop()
         cache_conf = None
         if self.cache is not None:
@@ -598,10 +681,21 @@ class RecompileService:
             self.counters.inc("service.failed")
         self._inflight.pop(record.digest, None)
         record.done_event.set()
+        self._note_finished(record)
         self._log(f"{record.job_id} {record.state} "
                   f"({record.job.name}, {record.submissions} submission"
                   f"{'s' if record.submissions != 1 else ''}, "
                   f"attempts {record.attempts})")
+
+    def _note_finished(self, record: JobRecord) -> None:
+        """Bound the job table: finished records (whose DONE results
+        hold the full base64 artifact) are evicted oldest-first once
+        more than ``job_history_limit`` have completed.  Waiters that
+        already hold the record still see its result; later status/
+        result fetches for an evicted id get ``unknown_job``."""
+        self._finished_order.append(record.job_id)
+        while len(self._finished_order) > self.job_history_limit:
+            self._jobs.pop(self._finished_order.popleft(), None)
 
     def _backoff_delay(self, attempt: int) -> float:
         # Exponential backoff with full jitter: delay in

@@ -380,6 +380,92 @@ class TestHealthAndLifecycle:
             assert response.code == "protocol"
 
 
+class TestLimitsAndRetention:
+    """Regression pins for the review findings: stream limits,
+    job-record eviction, priority upgrades and profile-digest
+    invalidation."""
+
+    def test_large_inline_submit_roundtrips(self):
+        """An inline submission far beyond asyncio's default 64 KiB
+        stream limit must yield a structured response, not a reset."""
+        blob = b"\x7fVXE" + b"\x00" * (100 * 1024)
+        with BackgroundServer(workers=1) as server:
+            client = _client(server)
+            submitted = client.submit(image_bytes=blob)
+            assert isinstance(submitted, SubmitResponse)
+            result = client.result(submitted.job_id, wait=True, timeout=60)
+            assert isinstance(result, ResultResponse)
+            assert result.state == "failed"     # garbage image, real job
+
+    def test_oversized_line_gets_structured_error(self):
+        import socket
+        with BackgroundServer(workers=1, max_line_bytes=4096) as server:
+            with socket.create_connection((server.host,
+                                           server.port)) as sock:
+                sock.sendall(b'{"pad":"' + b"x" * 16384 + b'"}\n')
+                chunks = []
+                while True:
+                    chunk = sock.recv(1 << 16)
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+            from repro.service import decode_response
+            response = decode_response(b"".join(chunks).rstrip(b"\n"))
+            assert isinstance(response, ErrorResponse)
+            assert response.code == "protocol"
+            assert "exceeds" in response.error
+
+    def test_finished_jobs_are_evicted_beyond_history_limit(
+            self, tiny_binary):
+        with BackgroundServer(workers=1, job_history_limit=2) as server:
+            client = _client(server)
+            ids = []
+            for seed in (1, 2, 3):
+                _image, result = client.submit_and_wait(binary=tiny_binary,
+                                                        seed=seed)
+                ids.append(result.job_id)
+            gone = client.status(ids[0])
+            assert isinstance(gone, ErrorResponse)
+            assert gone.code == "unknown_job"
+            kept = client.status(ids[-1])
+            assert isinstance(kept, StatusResponse)
+            assert kept.state == "done"
+            assert client.healthz().jobs_tracked <= 2
+
+    def test_coalesced_submit_upgrades_queue_priority(self, tiny_binary,
+                                                      other_binary):
+        with BackgroundServer(workers=1, start_paused=True) as server:
+            client = _client(server)
+            ahead = client.submit(binary=other_binary, priority=1)
+            behind = client.submit(binary=tiny_binary, priority=5)
+            assert not behind.coalesced
+            urgent = client.submit(binary=tiny_binary, priority=0)
+            assert urgent.coalesced and urgent.job_id == behind.job_id
+            service = server.service
+            assert service._jobs[behind.job_id].priority == 0
+            # The upgraded entry is the heap minimum (runs next); the
+            # stale entry does not inflate the live queue depth.
+            assert min(service._heap)[2] == behind.job_id
+            assert client.healthz().queue_depth == 2
+            server.resume()
+            for job in (ahead, behind):
+                assert client.result(job.job_id, wait=True,
+                                     timeout=60).state == "done"
+            assert client.healthz().queue_depth == 0
+
+    def test_profile_digest_cache_invalidates_on_rewrite(self, tmp_path):
+        from repro.profile import Profile
+        from repro.service.server import RecompileService
+        path = str(tmp_path / "hot.profile")
+        Profile(block_counts={4096: 1}, runs=1).save(path)
+        service = RecompileService()
+        first = service._profile_digest(path)
+        assert service._profile_digest(path) == first       # cache hit
+        time.sleep(0.01)        # let mtime_ns tick on coarse clocks
+        Profile(block_counts={4096: 7}, runs=1).save(path)
+        assert service._profile_digest(path) != first
+
+
 class TestWorkloadAndProcessPaths:
 
     def test_hybrid_workload_job(self, tmp_path):
